@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation figures at the
+``smoke`` scale (seconds per figure); the ``paper`` scale used for
+EXPERIMENTS.md is selected by setting the ``REPRO_BENCH_SCALE`` environment
+variable.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the benchmarks from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Scale preset used by all benchmarks (override with REPRO_BENCH_SCALE)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Seed shared by all benchmarks for reproducible figures."""
+    return 2012

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Fig. 2 (decoding failure probability vs HARQ round)."""
+
+from repro.experiments import fig2_bler_vs_harq
+
+
+def test_fig2_bler_vs_harq(benchmark, bench_scale, bench_seed):
+    """BLER after each HARQ transmission for low / medium / high SNR regimes."""
+    table = benchmark.pedantic(
+        fig2_bler_vs_harq.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(table.to_markdown())
+
+    # Shape check: within each SNR regime the failure probability must be
+    # non-increasing over transmissions (HARQ combining only helps).
+    by_snr = {}
+    for row in table.rows:
+        by_snr.setdefault(row["snr_db"], []).append(row)
+    for rows in by_snr.values():
+        rows.sort(key=lambda r: r["transmission"])
+        probabilities = [r["failure_probability"] for r in rows]
+        assert all(
+            later <= earlier + 1e-9
+            for earlier, later in zip(probabilities, probabilities[1:])
+        )
+    # The high-SNR regime decodes most packets on the first transmission.
+    high_snr = max(by_snr)
+    assert by_snr[high_snr][0]["failure_probability"] <= 0.5

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 3 (cell failure probability vs supply voltage)."""
+
+from repro.experiments import fig3_cell_failure
+
+
+def test_fig3_cell_failure(benchmark, bench_scale, bench_seed):
+    """Failure probability of 6T / upsized-6T / 8T cells over the voltage range."""
+    table = benchmark(fig3_cell_failure.run, bench_scale, bench_seed)
+    print()
+    print(table.to_markdown())
+
+    for row in table.rows:
+        # Robustness ordering of the paper's Fig. 3 at every voltage.
+        assert row["p_8t"] <= row["p_6t_upsized"] <= row["p_6t"]
+    nominal = next(r for r in table.rows if abs(r["vdd"] - 1.0) < 1e-9)
+    low = next(r for r in table.rows if abs(r["vdd"] - 0.5) < 1e-9)
+    # Parametric failures grow by many orders of magnitude over 500 mV ...
+    assert low["p_6t"] / max(nominal["p_6t"], 1e-300) > 1e6
+    # ... while the soft-error rate only grows by ~3x per 500 mV.
+    assert 2.0 < low["soft_error_rate"] / nominal["soft_error_rate"] < 4.0

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Fig. 5 (yield of a 200 Kb array accepting Nf defects)."""
+
+from repro.experiments import fig5_yield
+
+
+def test_fig5_yield(benchmark, bench_scale, bench_seed):
+    """Yield-vs-accepted-defects curves and the defects needed for 95 % yield."""
+    tables = benchmark(fig5_yield.run, bench_scale, bench_seed)
+    curves, targets = tables["curves"], tables["targets"]
+    print()
+    print(targets.to_markdown())
+
+    # Yield is non-decreasing in the number of accepted defects for every Pcell.
+    by_pcell = {}
+    for row in curves.rows:
+        by_pcell.setdefault(row["pcell"], []).append(row)
+    for rows in by_pcell.values():
+        rows.sort(key=lambda r: r["accepted_faults"])
+        yields = [r["yield"] for r in rows]
+        assert all(b >= a - 1e-12 for a, b in zip(yields, yields[1:]))
+
+    # Paper anchor: for Pcell = 1e-3 about 0.1 % of the cells must be accepted
+    # to reach the 95 % target.
+    anchor = next(r for r in targets.rows if abs(r["pcell"] - 1e-3) < 1e-12)
+    assert 0.0008 < anchor["defect_fraction_for_target"] < 0.0015

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Fig. 6 (throughput and transmissions vs defect rate)."""
+
+from repro.experiments import fig6_throughput_vs_defects
+
+
+def test_fig6_throughput_and_transmissions(benchmark, bench_scale, bench_seed):
+    """Throughput (6a) and average transmissions (6b) for 0 / 0.1 / 1 / 10 % defects."""
+    table = benchmark.pedantic(
+        fig6_throughput_vs_defects.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(table.to_markdown())
+    print(fig6_throughput_vs_defects.throughput_requirement_check(table).to_markdown())
+
+    by_rate = {}
+    for row in table.rows:
+        by_rate.setdefault(row["defect_rate"], {})[row["snr_db"]] = row
+    rates = sorted(by_rate)
+    assert rates[0] == 0.0
+
+    top_snr = max(snr for snr in by_rate[rates[0]])
+    clean_top = by_rate[rates[0]][top_snr]
+    dirty_top = by_rate[rates[-1]][top_snr]
+    # Who wins: the defect-free system outperforms the 10 %-defect system at
+    # high SNR, and by a visible factor (paper Fig. 6a shape).
+    assert clean_top["throughput"] >= dirty_top["throughput"]
+    # 0.1 % defects are essentially harmless (within Monte-Carlo noise).
+    if 0.001 in by_rate:
+        mild_top = by_rate[0.001][top_snr]
+        assert mild_top["throughput"] >= 0.7 * clean_top["throughput"]
+    # Average transmissions increase with the defect rate (Fig. 6b shape).
+    assert dirty_top["avg_transmissions"] >= clean_top["avg_transmissions"] - 1e-9

@@ -1,0 +1,38 @@
+"""Benchmark regenerating Fig. 7 (throughput when protecting k MSBs)."""
+
+import pytest
+
+from repro.experiments import fig7_msb_protection
+
+
+@pytest.mark.parametrize("subfigure,defect_rate", [("a", 0.01), ("b", 0.10)])
+def test_fig7_msb_protection(benchmark, bench_scale, bench_seed, subfigure, defect_rate):
+    """Throughput vs SNR for 0/2/3/4/10 protected MSBs at 1 % and 10 % defects."""
+    table = benchmark.pedantic(
+        fig7_msb_protection.run,
+        kwargs={
+            "scale": bench_scale,
+            "seed": bench_seed,
+            "defect_rate": defect_rate,
+            "protected_bit_counts": (0, 3, 4, 10),
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(table.to_markdown())
+
+    by_bits = {}
+    for row in table.rows:
+        by_bits.setdefault(row["protected_bits"], {})[row["snr_db"]] = row
+    top_snr = max(by_bits[0])
+    unprotected = by_bits[0][top_snr]["throughput"]
+    protected4 = by_bits[4][top_snr]["throughput"]
+    fully = by_bits[10][top_snr]["throughput"]
+    # Protection of the MSBs recovers throughput; full protection is not
+    # meaningfully better than 4 protected bits (Fig. 7 / Section 6.1).
+    assert protected4 >= unprotected - 0.05
+    assert fully <= protected4 + 0.25
+    if defect_rate >= 0.10:
+        # At 10 % defects the recovery must be substantial at high SNR.
+        assert protected4 >= unprotected

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Fig. 9 (throughput vs LLR bit-width with 10 % defects)."""
+
+from repro.experiments import fig9_bitwidth
+
+
+def test_fig9_bitwidth(benchmark, bench_scale, bench_seed):
+    """10-bit vs 11-bit vs 12-bit LLR storage under a 10 % defect rate."""
+    output = benchmark.pedantic(
+        fig9_bitwidth.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed, "snr_points_db": (14.0, 20.0, 26.0)},
+        iterations=1,
+        rounds=1,
+    )
+    table = output["table"]
+    print()
+    print(table.to_markdown())
+    print("best width per SNR:", output["best_width_per_snr"])
+
+    # Wider words mean a physically larger storage and more injected faults
+    # at the same defect rate — the mechanism behind the paper's conclusion.
+    by_bits = {}
+    for row in table.rows:
+        by_bits.setdefault(row["llr_bits"], row)
+    widths = sorted(by_bits)
+    cells = [by_bits[w]["storage_cells"] for w in widths]
+    faults = [by_bits[w]["num_faults"] for w in widths]
+    assert all(b > a for a, b in zip(cells, cells[1:]))
+    assert all(b >= a for a, b in zip(faults, faults[1:]))
+
+    # The narrowest (10-bit) word is the best choice for at least one of the
+    # evaluated SNR points (Fig. 9's high-SNR reading).
+    assert 10 in set(output["best_width_per_snr"].values())

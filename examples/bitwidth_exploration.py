@@ -1,0 +1,58 @@
+"""Joint choice of LLR quantization width and defect tolerance (Section 6.4).
+
+Compares 10-, 11- and 12-bit LLR storage with and without a 10 % defect rate,
+showing that the conventional "more bits are safer" rule inverts once
+hardware faults scale with the memory size.
+
+Run with::
+
+    python examples/bitwidth_exploration.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import BitWidthAnalysis
+from repro.link import LinkConfig
+
+
+def main() -> None:
+    """Run the bit-width exploration and print the comparison table."""
+    config = LinkConfig(payload_bits=296, crc_bits=16, turbo_iterations=5)
+    analysis = BitWidthAnalysis(config, num_fault_maps=2)
+    snr_points = (20.0, 26.0)
+    widths = (10, 11, 12)
+    num_packets = 16
+
+    print("=== Defect-free reference ===")
+    clean = analysis.sweep(widths, snr_points, 0.0, num_packets, rng=3)
+    for point in clean:
+        print(
+            f"  {point.llr_bits:2d} bits @ {point.snr_db:4.1f} dB: "
+            f"throughput={point.throughput:.2f} (storage {point.storage_cells} cells)"
+        )
+    print()
+
+    print("=== With 10% defects, no protection ===")
+    faulty = analysis.sweep(widths, snr_points, 0.10, num_packets, rng=3)
+    for point in faulty:
+        print(
+            f"  {point.llr_bits:2d} bits @ {point.snr_db:4.1f} dB: "
+            f"throughput={point.throughput:.2f}  faults={point.num_faults}"
+        )
+    best = analysis.best_width_per_snr(faulty)
+    print()
+    print("Best width per SNR under defects:", best)
+    print(
+        "Wider words enlarge the storage and accumulate more faults at the same "
+        "defect rate, so the narrower quantization wins — circuit limitations "
+        "belong in the quantization decision."
+    )
+
+
+if __name__ == "__main__":
+    main()

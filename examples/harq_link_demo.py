@@ -1,0 +1,49 @@
+"""Trace a single packet's HARQ lifetime through the full link.
+
+Shows the substrate in isolation (no fault injection): one packet is encoded,
+transmitted over independent multipath realisations, equalized, soft-demapped,
+combined in the HARQ buffer and turbo-decoded until the CRC passes — printing
+what happened after every transmission, for three SNR regimes.
+
+Run with::
+
+    python examples/harq_link_demo.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.link import HspaLikeLink, LinkConfig
+
+
+def main() -> None:
+    """Trace one packet per SNR regime and print its retransmission history."""
+    config = LinkConfig(payload_bits=296, crc_bits=16, turbo_iterations=6)
+    link = HspaLikeLink(config)
+    print("Link configuration:", config.describe())
+    print()
+
+    for snr_db in (10.0, 18.0, 26.0):
+        result = link.simulate_single_packet(snr_db, rng=int(snr_db))
+        history = ", ".join(
+            f"Tx{i + 1}: {'NACK' if failed else 'ACK'}"
+            for i, failed in enumerate(result.failure_history)
+        )
+        outcome = "delivered" if result.success else "dropped after HARQ budget"
+        print(
+            f"SNR {snr_db:4.1f} dB -> {outcome} in {result.num_transmissions} "
+            f"transmission(s)  [{history}]"
+        )
+    print()
+    print(
+        "Low SNR packets lean on HARQ retransmissions and soft combining; high "
+        "SNR packets decode on the first attempt — the behaviour of Fig. 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

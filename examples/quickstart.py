@@ -1,0 +1,56 @@
+"""Quickstart: simulate the HSPA+-like link with and without memory defects.
+
+Runs a handful of packets through the full chain (CRC, turbo coding, rate
+matching, 64QAM, multipath channel, MMSE equalization, HARQ with soft
+combining) twice — once with a defect-free HARQ LLR memory and once with a
+10 % defect rate — and prints the throughput / retransmission comparison.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import NoProtection, SystemLevelFaultSimulator
+from repro.link import LinkConfig
+
+
+def main() -> None:
+    """Run the quickstart comparison and print a small report."""
+    config = LinkConfig(payload_bits=296, crc_bits=16, turbo_iterations=5)
+    print("Link configuration:", config.describe())
+    print(f"HARQ LLR storage: {config.llr_storage_cells} SRAM cells")
+    print()
+
+    simulator = SystemLevelFaultSimulator(
+        config, NoProtection(bits_per_word=config.llr_bits), num_fault_maps=2
+    )
+    snr_db = 20.0
+    num_packets = 24
+
+    clean = simulator.evaluate_defect_rate(snr_db, 0.0, num_packets, rng=1)
+    faulty = simulator.evaluate_defect_rate(snr_db, 0.10, num_packets, rng=1)
+
+    print(f"At {snr_db:.0f} dB with {num_packets} packets:")
+    for label, point in (("defect-free", clean), ("10% defects", faulty)):
+        print(
+            f"  {label:>12}: throughput={point.normalized_throughput:.2f}  "
+            f"avg transmissions={point.average_transmissions:.2f}  "
+            f"residual BLER={point.block_error_rate:.2f}"
+        )
+    print()
+    print(
+        "The unprotected memory still delivers packets at a 10% defect rate, "
+        "but needs more HARQ retransmissions — the inherent error resilience "
+        "the paper exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

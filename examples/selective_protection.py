@@ -1,0 +1,75 @@
+"""Preferential (MSB) protection of the HARQ LLR storage.
+
+Reproduces the Section 6 design exploration on a small scale:
+
+1. rank the stored LLR bit positions by how much a flip perturbs the LLR
+   (the sign bit dominates);
+2. compare throughput at a 10 % defect rate for the unprotected array, the
+   4-MSB-protected hybrid array and the fully protected array; and
+3. report the area overhead each option costs.
+
+Run with::
+
+    python examples/selective_protection.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import (
+    BitSensitivityAnalysis,
+    FullCellProtection,
+    MsbProtection,
+    NoProtection,
+    SystemLevelFaultSimulator,
+)
+from repro.link import LinkConfig
+
+
+def main() -> None:
+    """Run the preferential-storage exploration and print the comparison."""
+    config = LinkConfig(payload_bits=296, crc_bits=16, turbo_iterations=5)
+    snr_db = 20.0
+    defect_rate = 0.10
+    num_packets = 16
+
+    print("=== Bit-position sensitivity of the stored LLR words ===")
+    sensitivity = BitSensitivityAnalysis(config.quantizer)
+    for entry in sensitivity.analytical_perturbations():
+        bar = "#" * max(1, int(40 * entry.worst_llr_perturbation / (2 * config.llr_max_abs)))
+        print(
+            f"  bit {entry.bit_position:2d}: worst LLR perturbation "
+            f"{entry.worst_llr_perturbation:6.2f}  {bar}"
+        )
+    depth = sensitivity.recommended_protection_depth()
+    print(f"  -> analytical recommendation: protect the {depth} most significant bits")
+    print()
+
+    print(f"=== Throughput at {snr_db:.0f} dB with {defect_rate:.0%} defects in fallible cells ===")
+    schemes = [
+        NoProtection(bits_per_word=config.llr_bits),
+        MsbProtection(bits_per_word=config.llr_bits, protected_msbs=4),
+        FullCellProtection(bits_per_word=config.llr_bits),
+    ]
+    for scheme in schemes:
+        simulator = SystemLevelFaultSimulator(config, scheme, num_fault_maps=2)
+        point = simulator.evaluate_defect_rate(snr_db, defect_rate, num_packets, rng=7)
+        print(
+            f"  {scheme.name:>16}: throughput={point.normalized_throughput:.2f}  "
+            f"avg transmissions={point.average_transmissions:.2f}  "
+            f"area overhead={scheme.area_overhead():.0%}"
+        )
+    print()
+    print(
+        "Protecting only the few most significant LLR bits recovers most of the "
+        "throughput at a fraction of the all-8T area overhead — the paper's "
+        "preferential storage result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Yield / voltage-scaling trade-off for the HARQ LLR memory.
+
+Walks the circuit side of the paper's methodology:
+
+1. the cell failure probability of 6T / upsized-6T / 8T cells versus supply
+   voltage (Fig. 3);
+2. the yield of the LLR storage when dies with up to ``Nf`` faulty cells are
+   accepted (Eq. 2 / Fig. 5); and
+3. the lowest supply voltage — and resulting power saving — admissible for a
+   given defect budget and yield target (Section 6.3).
+
+Run with::
+
+    python examples/yield_voltage_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.protection import MsbProtection, NoProtection
+from repro.core.voltage import VoltageScalingAnalysis
+from repro.experiments import fig3_cell_failure, fig5_yield
+from repro.link import LinkConfig
+
+
+def main() -> None:
+    """Print the three stages of the circuit-level analysis."""
+    print("=== Cell failure probability vs supply voltage (Fig. 3) ===")
+    fig3_cell_failure.run(voltages=np.arange(0.6, 1.01, 0.1)).print()
+    print()
+
+    print("=== Defects to accept for a 95% yield target (Fig. 5) ===")
+    fig5_yield.run()["targets"].print()
+    print()
+
+    print("=== Minimum voltage and power saving for the HARQ memory (Section 6.3) ===")
+    config = LinkConfig(payload_bits=296, crc_bits=16)
+    for protection, defect_budget in (
+        (NoProtection(bits_per_word=config.llr_bits), 0.001),
+        (MsbProtection(bits_per_word=config.llr_bits, protected_msbs=4), 0.10),
+    ):
+        analysis = VoltageScalingAnalysis(config.llr_storage_words, protection)
+        point = analysis.min_voltage_for_defect_budget(defect_budget)
+        saving = analysis.power_saving_versus_nominal(point.vdd)
+        print(
+            f"  {protection.name:>16}: tolerates {defect_budget:>5.1%} defects "
+            f"-> min Vdd {point.vdd:.3f} V, power saving {saving:.0%}, "
+            f"area overhead {protection.area_overhead():.0%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim enabling legacy editable installs (``pip install -e . --no-use-pep517``).
+
+The environment used for reproduction has no network access and no ``wheel``
+package, so PEP 517 editable installs (which build a wheel) are unavailable;
+this shim lets ``setup.py develop`` handle the editable install instead.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Wireless channel substrate: AWGN, Rayleigh fading and ITU multipath models."""
+
+from repro.channel.awgn import (
+    AwgnChannel,
+    awgn_noise,
+    ebn0_to_esn0_db,
+    esn0_to_ebn0_db,
+    snr_db_to_noise_variance,
+)
+from repro.channel.fading import JakesFadingProcess, block_rayleigh_gains
+from repro.channel.multipath import (
+    ITU_PEDESTRIAN_A,
+    ITU_PEDESTRIAN_B,
+    ITU_VEHICULAR_A,
+    MultipathChannel,
+    PowerDelayProfile,
+    SINGLE_PATH,
+)
+
+__all__ = [
+    "AwgnChannel",
+    "ITU_PEDESTRIAN_A",
+    "ITU_PEDESTRIAN_B",
+    "ITU_VEHICULAR_A",
+    "JakesFadingProcess",
+    "MultipathChannel",
+    "PowerDelayProfile",
+    "SINGLE_PATH",
+    "awgn_noise",
+    "block_rayleigh_gains",
+    "ebn0_to_esn0_db",
+    "esn0_to_ebn0_db",
+    "snr_db_to_noise_variance",
+]

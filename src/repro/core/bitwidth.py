@@ -1,0 +1,149 @@
+"""Joint bit-width / defect analysis (paper Section 6.4, Fig. 9).
+
+Traditionally the LLR quantization width is chosen to make quantization noise
+negligible (more bits = better).  Under hardware defects the trade-off flips:
+wider words mean a physically larger memory, hence *more faulty cells at the
+same defect rate* and more opportunities for damaging MSB flips — so the
+10-bit quantization ends up outperforming 11 and 12 bits at a 10 % defect
+rate.  This module sweeps the LLR width with and without defects to
+reproduce that crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.fault_simulator import SystemLevelFaultSimulator
+from repro.core.protection import NoProtection
+from repro.core.results import SweepTable
+from repro.link.config import LinkConfig
+from repro.utils.rng import RngLike, child_rngs
+from repro.utils.validation import ensure_positive_int
+
+
+@dataclass
+class BitWidthPoint:
+    """Result for one (LLR width, SNR) combination.
+
+    Attributes
+    ----------
+    llr_bits:
+        Quantizer word width.
+    snr_db:
+        Evaluated SNR point.
+    defect_rate:
+        Injected defect rate (fraction of the storage cells).
+    storage_cells:
+        Physical size of the LLR storage at this width.
+    num_faults:
+        Number of faulty cells injected (grows with the width at a fixed
+        defect rate — the effect driving the paper's conclusion).
+    throughput:
+        Normalized throughput.
+    average_transmissions:
+        Average number of transmissions per packet.
+    """
+
+    llr_bits: int
+    snr_db: float
+    defect_rate: float
+    storage_cells: int
+    num_faults: int
+    throughput: float
+    average_transmissions: float
+
+
+class BitWidthAnalysis:
+    """Throughput versus LLR quantization width under memory defects.
+
+    Parameters
+    ----------
+    base_config:
+        Link operating mode; the analysis clones it with different
+        ``llr_bits`` values.
+    num_fault_maps:
+        Dies per operating point.
+    """
+
+    def __init__(self, base_config: LinkConfig, *, num_fault_maps: int = 2) -> None:
+        self.base_config = base_config
+        self.num_fault_maps = ensure_positive_int(num_fault_maps, "num_fault_maps")
+
+    # ------------------------------------------------------------------ #
+    def _simulator_for_width(self, llr_bits: int) -> SystemLevelFaultSimulator:
+        config = self.base_config.with_updates(llr_bits=llr_bits)
+        protection = NoProtection(bits_per_word=llr_bits)
+        return SystemLevelFaultSimulator(
+            config, protection, num_fault_maps=self.num_fault_maps
+        )
+
+    def sweep(
+        self,
+        llr_widths: Sequence[int],
+        snr_points_db: Sequence[float],
+        defect_rate: float,
+        num_packets: int = 32,
+        rng: RngLike = None,
+    ) -> List[BitWidthPoint]:
+        """Evaluate every (width, SNR) combination at one defect rate."""
+        widths = [int(w) for w in llr_widths]
+        width_rngs = child_rngs(rng, len(widths))
+        points: List[BitWidthPoint] = []
+        for width, width_rng in zip(widths, width_rngs):
+            simulator = self._simulator_for_width(width)
+            for outcome in simulator.snr_sweep(snr_points_db, defect_rate, num_packets, width_rng):
+                points.append(
+                    BitWidthPoint(
+                        llr_bits=width,
+                        snr_db=outcome.snr_db,
+                        defect_rate=defect_rate,
+                        storage_cells=simulator.total_cells,
+                        num_faults=outcome.num_faults,
+                        throughput=outcome.normalized_throughput,
+                        average_transmissions=outcome.average_transmissions,
+                    )
+                )
+        return points
+
+    def sweep_table(
+        self,
+        llr_widths: Sequence[int],
+        snr_points_db: Sequence[float],
+        defect_rate: float,
+        num_packets: int = 32,
+        rng: RngLike = None,
+    ) -> SweepTable:
+        """Same as :meth:`sweep`, rendered as a table (Fig. 9 data)."""
+        table = SweepTable(
+            title=f"Throughput vs LLR bit-width at {defect_rate:.0%} defects (no protection)",
+            columns=[
+                "llr_bits",
+                "snr_db",
+                "storage_cells",
+                "num_faults",
+                "throughput",
+                "avg_transmissions",
+            ],
+            metadata={"defect_rate": defect_rate},
+        )
+        for point in self.sweep(llr_widths, snr_points_db, defect_rate, num_packets, rng):
+            table.add_row(
+                llr_bits=point.llr_bits,
+                snr_db=point.snr_db,
+                storage_cells=point.storage_cells,
+                num_faults=point.num_faults,
+                throughput=point.throughput,
+                avg_transmissions=point.average_transmissions,
+            )
+        return table
+
+    # ------------------------------------------------------------------ #
+    def best_width_per_snr(self, points: Sequence[BitWidthPoint]) -> dict:
+        """For each SNR, the width with the highest throughput (Fig. 9 reading)."""
+        best: dict = {}
+        for point in points:
+            current = best.get(point.snr_db)
+            if current is None or point.throughput > current.throughput:
+                best[point.snr_db] = point
+        return {snr: point.llr_bits for snr, point in best.items()}

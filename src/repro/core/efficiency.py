@@ -1,0 +1,188 @@
+"""Protection-efficiency analysis (paper Fig. 8 and Section 6.2).
+
+For a fixed defect rate in the unprotected cells, the analysis sweeps the
+number of protected MSBs, measures the throughput recovered, and divides the
+throughput gain by the area overhead of the hybrid array — reproducing the
+paper's conclusion that protecting ~4 of 10 bits is the sweet spot and that
+protecting more bits (or using full ECC) adds area without commensurate
+throughput benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.fault_simulator import SystemLevelFaultSimulator
+from repro.core.protection import EccProtection, MsbProtection, NoProtection
+from repro.core.results import SweepTable
+from repro.link.config import LinkConfig
+from repro.memory.power import AreaModel
+from repro.utils.rng import RngLike, child_rngs
+from repro.utils.validation import ensure_positive_int
+
+
+@dataclass
+class ProtectionEfficiencyPoint:
+    """Outcome for one number of protected MSBs.
+
+    Attributes
+    ----------
+    protected_bits:
+        Number of MSBs stored in robust cells.
+    throughput:
+        Normalized throughput at the evaluated (SNR, defect-rate) point.
+    throughput_gain:
+        Throughput relative to the defect-free reference (<= 1 in practice).
+    area_overhead:
+        Hybrid-array area overhead over the all-6T array.
+    efficiency:
+        ``throughput_gain / area_overhead`` (the paper's Fig. 8 y-axis);
+        infinite for zero overhead, reported as ``nan`` there.
+    """
+
+    protected_bits: int
+    throughput: float
+    throughput_gain: float
+    area_overhead: float
+    efficiency: float
+
+
+class ProtectionEfficiencyAnalysis:
+    """Throughput-gain-per-area study over the number of protected MSBs.
+
+    Parameters
+    ----------
+    config:
+        Link operating mode.
+    num_fault_maps:
+        Dies per operating point (passed to the fault simulator).
+    area_model:
+        Area model used for the overhead axis.
+    """
+
+    def __init__(
+        self,
+        config: LinkConfig,
+        *,
+        num_fault_maps: int = 2,
+        area_model: Optional[AreaModel] = None,
+    ) -> None:
+        self.config = config
+        self.num_fault_maps = ensure_positive_int(num_fault_maps, "num_fault_maps")
+        self.area_model = area_model or AreaModel()
+
+    # ------------------------------------------------------------------ #
+    def _simulator(self, protected_bits: int) -> SystemLevelFaultSimulator:
+        if protected_bits == 0:
+            protection = NoProtection(bits_per_word=self.config.llr_bits)
+        else:
+            protection = MsbProtection(
+                bits_per_word=self.config.llr_bits, protected_msbs=protected_bits
+            )
+        return SystemLevelFaultSimulator(
+            self.config, protection, num_fault_maps=self.num_fault_maps
+        )
+
+    def defect_free_reference(
+        self, snr_db: float, num_packets: int, rng: RngLike = None
+    ) -> float:
+        """Normalized throughput of the defect-free system at *snr_db*."""
+        simulator = self._simulator(0)
+        return simulator.evaluate(snr_db, 0, num_packets, rng).normalized_throughput
+
+    # ------------------------------------------------------------------ #
+    def sweep(
+        self,
+        snr_db: float,
+        defect_rate: float,
+        protected_bit_counts: Sequence[int],
+        num_packets: int = 32,
+        rng: RngLike = None,
+    ) -> List[ProtectionEfficiencyPoint]:
+        """Evaluate each protection depth at one (SNR, defect-rate) point.
+
+        The defect rate refers to the *unprotected* cells of each
+        configuration, mirroring the paper's acceptance criterion
+        (``Nf_6T`` of Section 6.1).
+        """
+        counts = [int(c) for c in protected_bit_counts]
+        rngs = child_rngs(rng, len(counts) + 1)
+        reference = self.defect_free_reference(snr_db, num_packets, rngs[-1])
+        points: List[ProtectionEfficiencyPoint] = []
+        for count, count_rng in zip(counts, rngs[: len(counts)]):
+            simulator = self._simulator(count)
+            outcome = simulator.evaluate_defect_rate(snr_db, defect_rate, num_packets, count_rng)
+            overhead = self.area_model.hybrid_overhead(self.config.llr_bits, count)
+            gain = (
+                outcome.normalized_throughput / reference if reference > 0 else float("nan")
+            )
+            efficiency = gain / overhead if overhead > 0 else float("nan")
+            points.append(
+                ProtectionEfficiencyPoint(
+                    protected_bits=count,
+                    throughput=outcome.normalized_throughput,
+                    throughput_gain=gain,
+                    area_overhead=overhead,
+                    efficiency=efficiency,
+                )
+            )
+        return points
+
+    def sweep_table(
+        self,
+        snr_db: float,
+        defect_rate: float,
+        protected_bit_counts: Sequence[int],
+        num_packets: int = 32,
+        rng: RngLike = None,
+    ) -> SweepTable:
+        """Same as :meth:`sweep`, rendered as a table (Fig. 8 data)."""
+        table = SweepTable(
+            title=(
+                f"Protection efficiency at {snr_db:.1f} dB, "
+                f"defect rate {defect_rate:.1%} in unprotected cells"
+            ),
+            columns=[
+                "protected_bits",
+                "throughput",
+                "throughput_gain",
+                "area_overhead",
+                "efficiency",
+            ],
+            metadata={"snr_db": snr_db, "defect_rate": defect_rate},
+        )
+        for point in self.sweep(snr_db, defect_rate, protected_bit_counts, num_packets, rng):
+            table.add_row(
+                protected_bits=point.protected_bits,
+                throughput=point.throughput,
+                throughput_gain=point.throughput_gain,
+                area_overhead=point.area_overhead,
+                efficiency=point.efficiency,
+            )
+        return table
+
+    # ------------------------------------------------------------------ #
+    def optimum_protection_depth(
+        self, points: Sequence[ProtectionEfficiencyPoint], gain_tolerance: float = 0.05
+    ) -> int:
+        """Smallest protection depth within *gain_tolerance* of the best gain.
+
+        The paper's reading of Fig. 8: once throughput has (essentially)
+        recovered, adding more protected bits only adds area.
+        """
+        if not points:
+            raise ValueError("points must not be empty")
+        best_gain = max(p.throughput_gain for p in points)
+        eligible = [p for p in points if p.throughput_gain >= best_gain - gain_tolerance]
+        return min(p.protected_bits for p in eligible)
+
+    def ecc_comparison(self) -> dict:
+        """Area overhead of full-word ECC versus MSB protection (Section 6.2)."""
+        ecc = EccProtection(bits_per_word=self.config.llr_bits)
+        msb4 = MsbProtection(bits_per_word=self.config.llr_bits, protected_msbs=4)
+        return {
+            "ecc_overhead": ecc.area_overhead(self.area_model),
+            "msb4_overhead": msb4.area_overhead(self.area_model),
+            "ecc_parity_bits": ecc.ecc.num_parity_bits,
+        }

@@ -1,0 +1,287 @@
+"""The system-level fault simulator (paper Section 4 / Fig. 4).
+
+:class:`SystemLevelFaultSimulator` orchestrates the complete methodology:
+
+1. take a link operating mode (:class:`~repro.link.config.LinkConfig`) and a
+   storage :class:`~repro.core.protection.ProtectionScheme`;
+2. for a chosen number of tolerated defects ``Nf`` (the die-acceptance
+   criterion), generate random fault-location maps over the LLR-storage
+   cells that are allowed to fail;
+3. run Monte-Carlo link simulations (random payloads, random channel
+   realisations, AWGN) with the fault maps installed in the HARQ soft
+   buffer, corrupting stored LLR bits exactly as the paper prescribes; and
+4. report the system-level metrics — normalized throughput, average number
+   of transmissions, residual BLER — together with the yield implications of
+   accepting ``Nf`` defects at a given cell failure probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.montecarlo import mean_confidence_interval
+from repro.core.protection import NoProtection, ProtectionScheme
+from repro.core.results import SweepTable
+from repro.harq.metrics import HarqStatistics, aggregate_results
+from repro.link.config import LinkConfig
+from repro.link.system import HspaLikeLink
+from repro.memory.yield_model import acceptance_yield
+from repro.utils.rng import RngLike, as_rng, child_rngs
+from repro.utils.validation import ensure_non_negative_int, ensure_positive_int
+
+
+@dataclass
+class FaultSimulationPoint:
+    """Result of evaluating one (SNR, defect, protection) operating point.
+
+    Attributes
+    ----------
+    snr_db:
+        Receive SNR of the point.
+    num_faults:
+        Number of faulty cells injected per die (the acceptance criterion).
+    defect_rate:
+        ``num_faults`` over the number of fallible LLR-storage cells.
+    statistics:
+        Aggregate HARQ statistics over all packets and fault maps.
+    per_map_throughput:
+        Normalized throughput of each individual fault map (die), exposing
+        die-to-die variation.
+    protection_name:
+        Name of the evaluated protection scheme.
+    """
+
+    snr_db: float
+    num_faults: int
+    defect_rate: float
+    statistics: HarqStatistics
+    per_map_throughput: List[float] = field(default_factory=list)
+    protection_name: str = "unprotected-6T"
+
+    @property
+    def normalized_throughput(self) -> float:
+        """Normalized throughput aggregated over all simulated dies."""
+        return self.statistics.normalized_throughput
+
+    @property
+    def average_transmissions(self) -> float:
+        """Average number of transmissions per packet."""
+        return self.statistics.average_transmissions
+
+    @property
+    def block_error_rate(self) -> float:
+        """Residual BLER after the HARQ budget."""
+        return self.statistics.block_error_rate
+
+
+class SystemLevelFaultSimulator:
+    """Joint circuit/system simulator for the HARQ LLR storage.
+
+    Parameters
+    ----------
+    config:
+        Link operating mode (modulation, code rate, LLR width, HARQ budget).
+    protection:
+        Storage protection scheme; defaults to the unprotected all-6T array.
+    num_fault_maps:
+        Number of independent fault-location maps (dies) evaluated per
+        operating point.  Packets are split evenly across the maps.
+    use_rake:
+        Use the RAKE baseline instead of the MMSE equalizer.
+    """
+
+    def __init__(
+        self,
+        config: LinkConfig,
+        protection: Optional[ProtectionScheme] = None,
+        *,
+        num_fault_maps: int = 2,
+        use_rake: bool = False,
+    ) -> None:
+        self.config = config
+        self.protection = protection or NoProtection(bits_per_word=config.llr_bits)
+        if self.protection.bits_per_word != config.llr_bits:
+            raise ValueError(
+                f"protection word width {self.protection.bits_per_word} does not match "
+                f"the link's llr_bits {config.llr_bits}"
+            )
+        self.num_fault_maps = ensure_positive_int(num_fault_maps, "num_fault_maps")
+        self.link = HspaLikeLink(config, use_rake=use_rake)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def fallible_cells(self) -> int:
+        """Number of LLR-storage cells that the protection scheme leaves fallible."""
+        return self.protection.unprotected_cells(self.config.llr_storage_words)
+
+    @property
+    def total_cells(self) -> int:
+        """Total number of LLR-storage cells (fallible + protected + parity)."""
+        return self.config.llr_storage_words * self.protection.stored_bits_per_word
+
+    def faults_for_defect_rate(self, defect_rate: float) -> int:
+        """Convert a defect rate (fraction of fallible cells) into a fault count."""
+        if defect_rate < 0:
+            raise ValueError("defect_rate must be non-negative")
+        return int(round(defect_rate * self.fallible_cells))
+
+    def yield_for_acceptance(self, cell_failure_probability: float, num_faults: int) -> float:
+        """Yield (Eq. 2) when dies with at most *num_faults* fallible-cell defects pass."""
+        return acceptance_yield(cell_failure_probability, self.fallible_cells, num_faults)
+
+    # ------------------------------------------------------------------ #
+    # core evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        snr_db: float,
+        num_faults: int = 0,
+        num_packets: int = 32,
+        rng: RngLike = None,
+    ) -> FaultSimulationPoint:
+        """Evaluate one operating point.
+
+        Parameters
+        ----------
+        snr_db:
+            Receive SNR.
+        num_faults:
+            Exact number of faulty cells per die (``Nf`` of the acceptance
+            criterion), placed uniformly at random in the fallible cells.
+        num_packets:
+            Total packets simulated (split across the fault maps).
+        rng:
+            Seed or generator controlling payloads, channels and fault maps.
+        """
+        num_faults = ensure_non_negative_int(num_faults, "num_faults")
+        num_packets = ensure_positive_int(num_packets, "num_packets")
+        generator = as_rng(rng)
+        map_rngs = child_rngs(generator, self.num_fault_maps)
+        packets_per_map = max(1, num_packets // self.num_fault_maps)
+
+        all_results = []
+        per_map_throughput: List[float] = []
+        for map_rng in map_rngs:
+            fault_map = self.protection.make_fault_map(
+                self.config.llr_storage_words, num_faults, rng=map_rng
+            )
+            ecc = self.protection.ecc
+
+            def buffer_factory(_index: int, _fault_map=fault_map, _ecc=ecc):
+                return self.link.make_buffer(fault_map=_fault_map, ecc=_ecc)
+
+            result = self.link.simulate_packets(
+                packets_per_map, snr_db, map_rng, buffer_factory=buffer_factory
+            )
+            all_results.extend(result.packet_results)
+            per_map_throughput.append(result.statistics.normalized_throughput)
+
+        statistics = aggregate_results(all_results, self.config.payload_bits)
+        defect_rate = num_faults / self.fallible_cells if self.fallible_cells else 0.0
+        return FaultSimulationPoint(
+            snr_db=float(snr_db),
+            num_faults=num_faults,
+            defect_rate=defect_rate,
+            statistics=statistics,
+            per_map_throughput=per_map_throughput,
+            protection_name=self.protection.name,
+        )
+
+    def evaluate_defect_rate(
+        self,
+        snr_db: float,
+        defect_rate: float,
+        num_packets: int = 32,
+        rng: RngLike = None,
+    ) -> FaultSimulationPoint:
+        """Like :meth:`evaluate` but specifying the defect rate instead of a count."""
+        return self.evaluate(
+            snr_db, self.faults_for_defect_rate(defect_rate), num_packets, rng
+        )
+
+    # ------------------------------------------------------------------ #
+    # sweeps
+    # ------------------------------------------------------------------ #
+    def snr_sweep(
+        self,
+        snr_points_db: Sequence[float],
+        defect_rate: float,
+        num_packets: int = 32,
+        rng: RngLike = None,
+    ) -> List[FaultSimulationPoint]:
+        """Evaluate a list of SNR points at a fixed defect rate."""
+        points = [float(s) for s in snr_points_db]
+        rngs = child_rngs(rng, len(points))
+        return [
+            self.evaluate_defect_rate(snr, defect_rate, num_packets, point_rng)
+            for snr, point_rng in zip(points, rngs)
+        ]
+
+    def defect_sweep(
+        self,
+        snr_db: float,
+        defect_rates: Sequence[float],
+        num_packets: int = 32,
+        rng: RngLike = None,
+    ) -> List[FaultSimulationPoint]:
+        """Evaluate a list of defect rates at a fixed SNR."""
+        rates = [float(r) for r in defect_rates]
+        rngs = child_rngs(rng, len(rates))
+        return [
+            self.evaluate_defect_rate(snr_db, rate, num_packets, point_rng)
+            for rate, point_rng in zip(rates, rngs)
+        ]
+
+    def throughput_table(
+        self,
+        snr_points_db: Sequence[float],
+        defect_rates: Sequence[float],
+        num_packets: int = 32,
+        rng: RngLike = None,
+        title: str = "Normalized throughput vs SNR and defect rate",
+    ) -> SweepTable:
+        """Full (SNR x defect-rate) sweep rendered as a :class:`SweepTable`."""
+        table = SweepTable(
+            title=title,
+            columns=["defect_rate", "snr_db", "throughput", "avg_transmissions", "bler"],
+            metadata={
+                "protection": self.protection.name,
+                "config": self.config.describe(),
+                "num_packets": num_packets,
+                "num_fault_maps": self.num_fault_maps,
+            },
+        )
+        sweep_rngs = child_rngs(rng, len(list(defect_rates)))
+        for rate_rng, defect_rate in zip(sweep_rngs, defect_rates):
+            for point in self.snr_sweep(snr_points_db, float(defect_rate), num_packets, rate_rng):
+                table.add_row(
+                    defect_rate=float(defect_rate),
+                    snr_db=point.snr_db,
+                    throughput=point.normalized_throughput,
+                    avg_transmissions=point.average_transmissions,
+                    bler=point.block_error_rate,
+                )
+        return table
+
+    # ------------------------------------------------------------------ #
+    def throughput_with_confidence(
+        self,
+        snr_db: float,
+        defect_rate: float,
+        num_packets: int = 32,
+        num_repeats: int = 4,
+        rng: RngLike = None,
+    ):
+        """Repeat an operating point and return a confidence interval on throughput."""
+        ensure_positive_int(num_repeats, "num_repeats")
+        rngs = child_rngs(rng, num_repeats)
+        throughputs = [
+            self.evaluate_defect_rate(snr_db, defect_rate, num_packets, r).normalized_throughput
+            for r in rngs
+        ]
+        return mean_confidence_interval(throughputs)

@@ -1,0 +1,189 @@
+"""Resilience-limit exploration (paper Section 5).
+
+Answers the question the paper poses after Fig. 6: *up to how many defects
+can the LLR storage tolerate before the system no longer meets its
+throughput requirement?*  The analysis sweeps the number of tolerated
+defects ``Nf`` at fixed SNR, finds the largest defect rate that keeps the
+normalized throughput above a requirement (0.53 for the 64QAM mode at its
+reference SNR), and translates that defect budget into yield and minimum
+supply voltage via the memory models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.fault_simulator import FaultSimulationPoint, SystemLevelFaultSimulator
+from repro.core.results import SweepTable
+from repro.memory.cells import BitCellType, CELL_6T
+from repro.memory.yield_model import acceptance_yield, max_cell_failure_probability
+from repro.utils.rng import RngLike, child_rngs
+
+
+@dataclass
+class ResilienceLimit:
+    """The resilience limit found for one (SNR, requirement) combination.
+
+    Attributes
+    ----------
+    snr_db:
+        SNR at which the limit was determined.
+    throughput_requirement:
+        Normalized-throughput requirement that must be met.
+    max_defect_rate:
+        Largest evaluated defect rate still meeting the requirement
+        (0.0 when even the defect-free system misses it).
+    max_faults:
+        The corresponding number of faulty cells.
+    throughput_at_limit:
+        Measured normalized throughput at that defect rate.
+    admissible_cell_failure_probability:
+        Largest ``Pcell`` for which accepting ``max_faults`` defects still
+        reaches the yield target.
+    min_supply_voltage:
+        Lowest supply voltage (for the baseline cell) whose ``Pcell`` stays
+        below that admissible value.
+    yield_target:
+        Yield target used for the voltage translation.
+    """
+
+    snr_db: float
+    throughput_requirement: float
+    max_defect_rate: float
+    max_faults: int
+    throughput_at_limit: float
+    admissible_cell_failure_probability: float
+    min_supply_voltage: float
+    yield_target: float
+
+
+class ResilienceAnalysis:
+    """Throughput-versus-defect-rate study on top of the fault simulator.
+
+    Parameters
+    ----------
+    simulator:
+        A configured :class:`~repro.core.fault_simulator.SystemLevelFaultSimulator`.
+    """
+
+    def __init__(self, simulator: SystemLevelFaultSimulator) -> None:
+        self.simulator = simulator
+
+    # ------------------------------------------------------------------ #
+    def defect_rate_sweep(
+        self,
+        snr_db: float,
+        defect_rates: Sequence[float],
+        num_packets: int = 32,
+        rng: RngLike = None,
+    ) -> List[FaultSimulationPoint]:
+        """Throughput at a fixed SNR for each defect rate."""
+        return self.simulator.defect_sweep(snr_db, defect_rates, num_packets, rng)
+
+    def sweep_table(
+        self,
+        snr_db: float,
+        defect_rates: Sequence[float],
+        num_packets: int = 32,
+        rng: RngLike = None,
+        cell: BitCellType = CELL_6T,
+        yield_target: float = 0.95,
+    ) -> SweepTable:
+        """Defect-rate sweep with yield and voltage columns attached."""
+        table = SweepTable(
+            title=f"Resilience at {snr_db:.1f} dB ({self.simulator.protection.name})",
+            columns=[
+                "defect_rate",
+                "num_faults",
+                "throughput",
+                "avg_transmissions",
+                "bler",
+                "admissible_pcell",
+                "min_vdd",
+            ],
+            metadata={"snr_db": snr_db, "yield_target": yield_target},
+        )
+        points = self.defect_rate_sweep(snr_db, defect_rates, num_packets, rng)
+        for point in points:
+            admissible = max_cell_failure_probability(
+                max(self.simulator.fallible_cells, 1), point.num_faults, yield_target
+            )
+            min_vdd = (
+                cell.min_voltage_for_failure_probability(admissible)
+                if 0.0 < admissible < 1.0
+                else cell.zero_margin_voltage
+            )
+            table.add_row(
+                defect_rate=point.defect_rate,
+                num_faults=point.num_faults,
+                throughput=point.normalized_throughput,
+                avg_transmissions=point.average_transmissions,
+                bler=point.block_error_rate,
+                admissible_pcell=admissible,
+                min_vdd=min_vdd,
+            )
+        return table
+
+    # ------------------------------------------------------------------ #
+    def find_limit(
+        self,
+        snr_db: float,
+        defect_rates: Sequence[float],
+        throughput_requirement: float,
+        num_packets: int = 32,
+        rng: RngLike = None,
+        yield_target: float = 0.95,
+        cell: BitCellType = CELL_6T,
+    ) -> ResilienceLimit:
+        """Largest evaluated defect rate still meeting the throughput requirement."""
+        rates = sorted(float(r) for r in defect_rates)
+        rngs = child_rngs(rng, len(rates))
+        best_rate = 0.0
+        best_faults = 0
+        best_throughput = 0.0
+        for rate, point_rng in zip(rates, rngs):
+            point = self.simulator.evaluate_defect_rate(snr_db, rate, num_packets, point_rng)
+            if point.normalized_throughput >= throughput_requirement:
+                best_rate = rate
+                best_faults = point.num_faults
+                best_throughput = point.normalized_throughput
+            else:
+                break
+        admissible = max_cell_failure_probability(
+            max(self.simulator.fallible_cells, 1), best_faults, yield_target
+        )
+        if 0.0 < admissible < 1.0:
+            min_vdd = cell.min_voltage_for_failure_probability(admissible)
+        else:
+            min_vdd = cell.zero_margin_voltage
+        return ResilienceLimit(
+            snr_db=float(snr_db),
+            throughput_requirement=float(throughput_requirement),
+            max_defect_rate=best_rate,
+            max_faults=best_faults,
+            throughput_at_limit=best_throughput,
+            admissible_cell_failure_probability=admissible,
+            min_supply_voltage=min_vdd,
+            yield_target=float(yield_target),
+        )
+
+    # ------------------------------------------------------------------ #
+    def yield_improvement(
+        self,
+        cell_failure_probability: float,
+        accepted_defect_rate: float,
+    ) -> dict:
+        """Yield with and without accepting defects, for the simulator's storage."""
+        cells = self.simulator.fallible_cells
+        accepted_faults = self.simulator.faults_for_defect_rate(accepted_defect_rate)
+        strict = acceptance_yield(cell_failure_probability, cells, 0)
+        relaxed = acceptance_yield(cell_failure_probability, cells, accepted_faults)
+        return {
+            "cell_failure_probability": cell_failure_probability,
+            "array_cells": cells,
+            "accepted_faults": accepted_faults,
+            "yield_zero_defects": strict,
+            "yield_accepting_defects": relaxed,
+            "yield_gain": relaxed - strict,
+        }

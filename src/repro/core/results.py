@@ -1,0 +1,91 @@
+"""Result containers and tabulation helpers for experiments and benchmarks."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class SweepTable:
+    """A small column-oriented table of experiment results.
+
+    Used by every experiment driver to return its figure data in a uniform,
+    easily printable / exportable form.
+
+    Attributes
+    ----------
+    title:
+        Table caption (usually the figure it reproduces).
+    columns:
+        Column names, in display order.
+    rows:
+        One dict per row, keyed by column name.
+    metadata:
+        Free-form experiment parameters (scale, seeds, configuration).
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def add_row(self, **values: Any) -> None:
+        """Append a row; values for unknown columns raise immediately."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column as a list."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------ #
+    def to_markdown(self, float_format: str = "{:.4g}") -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(fmt(row.get(c, "")) for c in self.columns) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render the table as CSV text."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({c: row.get(c, "") for c in self.columns})
+        return buffer.getvalue()
+
+    def print(self) -> None:
+        """Print the markdown rendering (used by example scripts and benches)."""
+        print(self.to_markdown())
+
+
+def summarize_series(name: str, values: Sequence[float]) -> Dict[str, float]:
+    """Mean / min / max summary of a numeric series (for quick reporting)."""
+    data = [float(v) for v in values]
+    if not data:
+        return {"name": name, "mean": float("nan"), "min": float("nan"), "max": float("nan")}
+    return {
+        "name": name,
+        "mean": sum(data) / len(data),
+        "min": min(data),
+        "max": max(data),
+    }

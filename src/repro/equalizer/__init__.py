@@ -1,0 +1,12 @@
+"""Receiver front-end substrate: channel estimation, MMSE and RAKE equalizers."""
+
+from repro.equalizer.estimation import estimate_channel_ls
+from repro.equalizer.mmse import MmseEqualizer, MmseEqualizerOutput
+from repro.equalizer.rake import RakeReceiver
+
+__all__ = [
+    "MmseEqualizer",
+    "MmseEqualizerOutput",
+    "RakeReceiver",
+    "estimate_channel_ls",
+]

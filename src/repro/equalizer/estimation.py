@@ -1,0 +1,53 @@
+"""Pilot-aided channel estimation.
+
+The link simulator usually runs with perfect channel knowledge (the paper's
+study isolates the effect of memory faults), but a least-squares estimator is
+provided so that experiments can also include channel-estimation error, and
+so that the receiver chain is complete as a substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def estimate_channel_ls(
+    received: np.ndarray,
+    pilots: np.ndarray,
+    channel_length: int,
+) -> np.ndarray:
+    """Least-squares estimate of a FIR channel from a known pilot sequence.
+
+    Parameters
+    ----------
+    received:
+        Received samples covering (at least) the convolution of the pilots
+        with the channel, i.e. ``len(pilots) + channel_length - 1`` samples.
+    pilots:
+        Known transmitted pilot samples.
+    channel_length:
+        Number of channel taps to estimate.
+
+    Returns
+    -------
+    numpy.ndarray
+        Estimated impulse response of length *channel_length*.
+    """
+    p = np.asarray(pilots, dtype=np.complex128).reshape(-1)
+    r = np.asarray(received, dtype=np.complex128).reshape(-1)
+    if channel_length <= 0:
+        raise ValueError("channel_length must be positive")
+    if p.size < channel_length:
+        raise ValueError("need at least channel_length pilot samples")
+    expected_len = p.size + channel_length - 1
+    if r.size < expected_len:
+        raise ValueError(
+            f"received must have at least {expected_len} samples, got {r.size}"
+        )
+    # Build the pilot convolution matrix (full convolution model): r = P h + n.
+    rows = expected_len
+    matrix = np.zeros((rows, channel_length), dtype=np.complex128)
+    for tap in range(channel_length):
+        matrix[tap : tap + p.size, tap] = p
+    estimate, *_ = np.linalg.lstsq(matrix, r[:rows], rcond=None)
+    return estimate

@@ -1,0 +1,176 @@
+"""Linear MMSE equalization of frequency-selective channels.
+
+The paper's receiver uses "a minimum mean-square error (MMSE) equalizer ...
+for the generation of LLRs".  This module implements a finite-impulse-response
+MMSE equalizer designed from the (known or estimated) channel impulse
+response, and computes the post-equalization signal-to-interference-and-noise
+ratio (SINR) needed to scale the demapper LLRs correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive_int
+
+
+@dataclass
+class MmseEqualizerOutput:
+    """Result of equalizing one block of received samples.
+
+    Attributes
+    ----------
+    symbols:
+        Bias-compensated symbol estimates (same scale as the transmitted
+        constellation).
+    effective_noise_variance:
+        Residual interference-plus-noise variance *after* bias compensation;
+        feed this to the soft demapper.
+    sinr:
+        Post-equalization SINR (linear).
+    taps:
+        The equalizer taps that were applied.
+    """
+
+    symbols: np.ndarray
+    effective_noise_variance: float
+    sinr: float
+    taps: np.ndarray
+
+
+class MmseEqualizer:
+    """FIR MMSE equalizer for a known channel impulse response.
+
+    Parameters
+    ----------
+    num_taps:
+        Equalizer filter length.
+    decision_delay:
+        Delay (in samples) of the symbol the equalizer targets; ``None``
+        selects the centre of the combined channel+equalizer response, which
+        is close to optimal for symmetric filters.
+    """
+
+    def __init__(self, num_taps: int = 16, decision_delay: int | None = None) -> None:
+        self.num_taps = ensure_positive_int(num_taps, "num_taps")
+        if decision_delay is not None and decision_delay < 0:
+            raise ValueError("decision_delay must be non-negative")
+        self.decision_delay = decision_delay
+
+    # ------------------------------------------------------------------ #
+    def design(
+        self,
+        impulse_response: np.ndarray,
+        noise_variance: float,
+        signal_power: float = 1.0,
+    ) -> tuple[np.ndarray, int, float, float]:
+        """Compute MMSE taps for a channel.
+
+        Returns
+        -------
+        tuple
+            ``(taps, delay, bias, residual_variance)`` — *bias* is the
+            effective complex gain on the desired symbol; *residual_variance*
+            is the variance of interference plus noise at the equalizer
+            output (before bias compensation).
+        """
+        h = np.asarray(impulse_response, dtype=np.complex128).reshape(-1)
+        if h.size == 0:
+            raise ValueError("impulse_response must be non-empty")
+        if noise_variance < 0:
+            raise ValueError("noise_variance must be non-negative")
+        channel_length = h.size
+        nf = self.num_taps
+        # Channel (convolution) matrix H such that the received window
+        #   r_k = [r[k], ..., r[k + nf - 1]]^T
+        # satisfies r_k = H s_k + n with
+        #   s_k = [s[k - L + 1], ..., s[k + nf - 1]]^T  (length nf + L - 1).
+        # Row i covers symbols s[k + i - L + 1 .. k + i], hence the reversed
+        # channel taps: H[i, i + L - 1 - l] = h[l].
+        num_symbols = nf + channel_length - 1
+        conv_matrix = np.zeros((nf, num_symbols), dtype=np.complex128)
+        for i in range(nf):
+            conv_matrix[i, i : i + channel_length] = h[::-1]
+        delay = (
+            self.decision_delay
+            if self.decision_delay is not None
+            else (num_symbols - 1) // 2
+        )
+        if not 0 <= delay < num_symbols:
+            raise ValueError(f"decision_delay must be in [0, {num_symbols}), got {delay}")
+
+        es = float(signal_power)
+        covariance = es * (conv_matrix @ conv_matrix.conj().T) + noise_variance * np.eye(nf)
+        desired = es * conv_matrix[:, delay]
+        taps = np.linalg.solve(covariance, desired)
+
+        # Effective gain on the desired symbol and total output power split.
+        response = taps.conj() @ conv_matrix  # combined channel+equalizer response
+        bias = response[delay]
+        interference = es * (np.sum(np.abs(response) ** 2) - np.abs(bias) ** 2)
+        noise_out = noise_variance * float(np.sum(np.abs(taps) ** 2))
+        residual_variance = float(interference + noise_out)
+        return taps, delay, complex(bias), residual_variance
+
+    # ------------------------------------------------------------------ #
+    def equalize(
+        self,
+        received: np.ndarray,
+        impulse_response: np.ndarray,
+        noise_variance: float,
+        num_symbols: int,
+        signal_power: float = 1.0,
+    ) -> MmseEqualizerOutput:
+        """Equalize a received block.
+
+        Parameters
+        ----------
+        received:
+            Received samples (length >= num_symbols + L - 1, i.e. the full
+            convolution output).
+        impulse_response:
+            Channel impulse response used for the design.
+        noise_variance:
+            Complex noise variance at the receiver input.
+        num_symbols:
+            Number of transmitted symbols to recover.
+        signal_power:
+            Average transmit symbol energy.
+        """
+        r = np.asarray(received, dtype=np.complex128).reshape(-1)
+        h = np.asarray(impulse_response, dtype=np.complex128).reshape(-1)
+        taps, delay, bias, residual_variance = self.design(
+            impulse_response, noise_variance, signal_power
+        )
+        # The design estimates s[k - L + 1 + delay] from the window
+        # [r[k], ..., r[k + nf - 1]], i.e. symbol n is estimated as
+        #   y[n] = sum_i conj(taps[i]) * r[n + (L - 1 - delay) + i].
+        # Implemented as a full convolution with the reversed conjugate taps,
+        # then sampled at offset n + nf + L - 2 - delay.
+        filtered = np.convolve(r, np.conj(taps)[::-1])
+        offset = self.num_taps + h.size - 2 - delay
+        indices = np.arange(num_symbols) + offset
+        if indices[-1] >= filtered.size or indices[0] < 0:
+            raise ValueError("received block too short for the requested symbol count")
+        raw = filtered[indices]
+
+        bias_abs2 = np.abs(bias) ** 2
+        if bias_abs2 < 1e-30:
+            # Degenerate design (zero channel) — return unusable, very noisy output.
+            return MmseEqualizerOutput(
+                symbols=np.zeros(num_symbols, dtype=np.complex128),
+                effective_noise_variance=1e30,
+                sinr=0.0,
+                taps=taps,
+            )
+        symbols = raw / bias
+        effective_noise_variance = residual_variance / bias_abs2
+        sinr = float(signal_power * bias_abs2 / max(residual_variance, 1e-30))
+        return MmseEqualizerOutput(
+            symbols=symbols,
+            effective_noise_variance=effective_noise_variance,
+            sinr=sinr,
+            taps=taps,
+        )

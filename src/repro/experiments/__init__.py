@@ -1,0 +1,23 @@
+"""Experiment drivers — one per evaluation figure of the paper.
+
+Every driver exposes a ``run(scale=..., seed=...)`` function returning a
+:class:`~repro.core.results.SweepTable` (or a dict of tables) with exactly
+the series the corresponding figure plots.  The benchmark harness under
+``benchmarks/`` calls these drivers at the ``"smoke"`` scale; the
+``"paper"`` scale produces smoother curves for EXPERIMENTS.md.
+
+| Driver                               | Paper figure |
+|--------------------------------------|--------------|
+| :mod:`repro.experiments.fig2_bler_vs_harq`        | Fig. 2 |
+| :mod:`repro.experiments.fig3_cell_failure`        | Fig. 3 |
+| :mod:`repro.experiments.fig5_yield`               | Fig. 5 |
+| :mod:`repro.experiments.fig6_throughput_vs_defects` | Fig. 6(a)/(b) |
+| :mod:`repro.experiments.fig7_msb_protection`      | Fig. 7(a)/(b) |
+| :mod:`repro.experiments.fig8_efficiency`          | Fig. 8 |
+| :mod:`repro.experiments.fig9_bitwidth`            | Fig. 9 |
+| :mod:`repro.experiments.power_savings`            | Section 6.3 numbers |
+"""
+
+from repro.experiments.scales import SCALES, Scale, get_scale
+
+__all__ = ["SCALES", "Scale", "get_scale"]

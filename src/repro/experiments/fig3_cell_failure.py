@@ -1,0 +1,51 @@
+"""Fig. 3 — memory (cell) failure probability versus supply voltage.
+
+Evaluates the calibrated bit-cell models for the medium-sized 6T cell, the
+15 %-upsized 6T cell and the 8T cell over the 0.5-1.1 V range, together with
+the voltage dependence of the soft-error rate (3x per 500 mV), reproducing
+the orderings and orders of magnitude of the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.results import SweepTable
+from repro.experiments.scales import Scale, get_scale
+from repro.memory.cells import CELL_6T, CELL_6T_UPSIZED, CELL_8T, SoftErrorModel
+
+#: Default supply-voltage grid (V).
+DEFAULT_VOLTAGES = tuple(np.round(np.arange(0.5, 1.101, 0.05), 3))
+
+
+def run(
+    scale: Union[str, Scale] = "smoke",
+    seed: int = 0,
+    voltages: Sequence[float] = DEFAULT_VOLTAGES,
+) -> SweepTable:
+    """Run the Fig. 3 experiment and return its data table.
+
+    The *scale* and *seed* parameters are accepted for interface uniformity;
+    the cell models are analytical so the result is deterministic and cheap.
+    """
+    get_scale(scale)  # validate the name even though the scale is unused
+    soft_errors = SoftErrorModel()
+    table = SweepTable(
+        title="Fig. 3 — cell failure probability vs supply voltage (65 nm, slow-fast corner)",
+        columns=["vdd", "p_6t", "p_6t_upsized", "p_8t", "soft_error_rate"],
+    )
+    for vdd in voltages:
+        table.add_row(
+            vdd=float(vdd),
+            p_6t=CELL_6T.failure_probability(float(vdd)),
+            p_6t_upsized=CELL_6T_UPSIZED.failure_probability(float(vdd)),
+            p_8t=CELL_8T.failure_probability(float(vdd)),
+            soft_error_rate=soft_errors.rate(float(vdd)),
+        )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    run().print()

@@ -1,0 +1,79 @@
+"""Fig. 5 — yield of a 200 Kb array when accepting up to ``Nf`` faulty cells.
+
+Evaluates Eq. (2) over a grid of accepted-defect counts for several cell
+failure probabilities, and reports, for each ``Pcell``, the defect fraction
+that must be accepted to reach the 95 % yield target — reproducing the
+paper's reading of the figure (about 0.1 % of the cells for
+``Pcell = 1e-3``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.results import SweepTable
+from repro.experiments.scales import Scale, get_scale
+from repro.memory.yield_model import acceptance_yield_curve, min_defects_for_yield
+
+#: Array size of the paper's Fig. 5 (200 Kb).
+ARRAY_SIZE_CELLS = 200 * 1024
+#: Cell failure probabilities plotted in the paper's figure.
+DEFAULT_PCELLS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
+#: Yield target annotated in the figure.
+YIELD_TARGET = 0.95
+
+
+def run(
+    scale: Union[str, Scale] = "smoke",
+    seed: int = 0,
+    cell_failure_probabilities: Sequence[float] = DEFAULT_PCELLS,
+    array_size: int = ARRAY_SIZE_CELLS,
+    yield_target: float = YIELD_TARGET,
+) -> dict:
+    """Run the Fig. 5 experiment.
+
+    Returns
+    -------
+    dict
+        ``{"curves": SweepTable, "targets": SweepTable}`` — the yield-vs-Nf
+        curves and, per ``Pcell``, the accepted-defect fraction needed to hit
+        the yield target.
+    """
+    get_scale(scale)  # interface uniformity; the computation is analytical
+    defect_fractions = np.concatenate(
+        [[0.0], np.logspace(-5, -1.3, 25)]
+    )
+    curves = SweepTable(
+        title=f"Fig. 5 — yield of a {array_size} cell array accepting Nf faulty cells",
+        columns=["pcell", "accepted_defect_fraction", "accepted_faults", "yield"],
+        metadata={"yield_target": yield_target},
+    )
+    targets = SweepTable(
+        title="Fig. 5 — defects to accept for the yield target",
+        columns=["pcell", "defects_for_target", "defect_fraction_for_target"],
+        metadata={"yield_target": yield_target},
+    )
+    for pcell in cell_failure_probabilities:
+        counts = np.unique((defect_fractions * array_size).astype(np.int64))
+        yields = acceptance_yield_curve(float(pcell), array_size, counts)
+        for count, y in zip(counts, yields):
+            curves.add_row(
+                pcell=float(pcell),
+                accepted_defect_fraction=count / array_size,
+                accepted_faults=int(count),
+                **{"yield": float(y)},
+            )
+        needed = min_defects_for_yield(float(pcell), array_size, yield_target)
+        targets.add_row(
+            pcell=float(pcell),
+            defects_for_target=int(needed),
+            defect_fraction_for_target=needed / array_size,
+        )
+    return {"curves": curves, "targets": targets}
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    tables = run()
+    tables["targets"].print()

@@ -1,0 +1,24 @@
+"""Hybrid automatic repeat request (HARQ) subsystem.
+
+Implements the LLR soft buffer (backed by the unreliable-memory model), the
+soft-combining schemes (chase and incremental redundancy), the stop-and-wait
+HARQ process controller and the throughput/retransmission metrics the paper
+evaluates.
+"""
+
+from repro.harq.buffer import LlrSoftBuffer, TransmissionSoftBuffer
+from repro.harq.combining import CombiningScheme, chase_combine, incremental_redundancy_combine
+from repro.harq.controller import HarqController, HarqPacketResult
+from repro.harq.metrics import HarqStatistics, aggregate_results
+
+__all__ = [
+    "CombiningScheme",
+    "HarqController",
+    "HarqPacketResult",
+    "HarqStatistics",
+    "LlrSoftBuffer",
+    "TransmissionSoftBuffer",
+    "aggregate_results",
+    "chase_combine",
+    "incremental_redundancy_combine",
+]

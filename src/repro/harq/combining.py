@@ -1,0 +1,68 @@
+"""HARQ soft-combining schemes.
+
+Two standard schemes are modelled:
+
+* **Chase combining** — every (re)transmission carries the same coded bits;
+  the receiver adds the LLRs of matching positions, improving the effective
+  SNR by roughly 3 dB per doubling of transmissions.
+* **Incremental redundancy (IR)** — retransmissions carry different
+  redundancy versions; LLR addition happens in the mother-code (virtual
+  buffer) domain, so combining both improves SNR on repeated bits and lowers
+  the effective code rate by filling in previously punctured bits.
+
+Both reduce to the same primitive — element-wise addition in the mother-code
+domain — because the rate matcher's :meth:`derate_match` already scatters a
+transmission's LLRs onto mother-code positions.  They are kept as distinct
+named entry points to make experiment configurations self-describing and to
+allow scheme-specific bookkeeping.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+
+class CombiningScheme(str, Enum):
+    """Which redundancy-version schedule the HARQ transmitter follows."""
+
+    #: All transmissions use redundancy version 0 (identical coded bits).
+    CHASE = "chase"
+    #: Transmissions cycle through redundancy versions 0, 1, 2, 3.
+    INCREMENTAL_REDUNDANCY = "ir"
+
+    def redundancy_version(self, transmission_index: int, num_versions: int = 4) -> int:
+        """Redundancy version used for the given (0-based) transmission index."""
+        if transmission_index < 0:
+            raise ValueError("transmission_index must be non-negative")
+        if self is CombiningScheme.CHASE:
+            return 0
+        return transmission_index % num_versions
+
+
+def chase_combine(stored_llrs: np.ndarray, new_llrs: np.ndarray) -> np.ndarray:
+    """Add the LLRs of a retransmission carrying identical coded bits."""
+    stored = np.asarray(stored_llrs, dtype=np.float64)
+    new = np.asarray(new_llrs, dtype=np.float64)
+    if stored.shape != new.shape:
+        raise ValueError(f"shape mismatch: {stored.shape} vs {new.shape}")
+    return stored + new
+
+
+def incremental_redundancy_combine(
+    stored_mother_llrs: np.ndarray, new_mother_llrs: np.ndarray
+) -> np.ndarray:
+    """Combine in the mother-code domain (new positions fill in as erasure updates)."""
+    stored = np.asarray(stored_mother_llrs, dtype=np.float64)
+    new = np.asarray(new_mother_llrs, dtype=np.float64)
+    if stored.shape != new.shape:
+        raise ValueError(f"shape mismatch: {stored.shape} vs {new.shape}")
+    return stored + new
+
+
+def effective_snr_gain_db(num_transmissions: int) -> float:
+    """Idealised chase-combining SNR gain after *num_transmissions* transmissions."""
+    if num_transmissions <= 0:
+        raise ValueError("num_transmissions must be positive")
+    return float(10.0 * np.log10(num_transmissions))

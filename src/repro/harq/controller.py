@@ -1,0 +1,127 @@
+"""Stop-and-wait HARQ process controller.
+
+Drives one packet's lifetime: initial transmission, CRC-based ACK/NACK,
+soft combining of retransmissions in the LLR buffer, up to a configurable
+maximum number of transmissions ("a maximum of three retransmissions per
+data packet" in the paper's evaluation, i.e. four transmissions total).
+
+The controller is deliberately agnostic of the PHY: it is handed a
+``transmission_callback`` that produces the mother-code LLRs of one
+(re)transmission, which keeps it reusable both by the full link simulator
+(:mod:`repro.link.system`) and by lightweight tests that stub the PHY out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.harq.buffer import LlrSoftBuffer
+from repro.harq.combining import CombiningScheme
+from repro.utils.validation import ensure_positive_int
+
+#: Signature of the PHY hook: (transmission_index, redundancy_version) -> mother LLRs.
+TransmissionCallback = Callable[[int, int], np.ndarray]
+#: Signature of the decoder hook: combined mother LLRs -> (decoded bits, crc_ok).
+DecodeCallback = Callable[[np.ndarray], tuple]
+
+
+@dataclass
+class HarqPacketResult:
+    """Outcome of one packet's HARQ lifetime.
+
+    Attributes
+    ----------
+    success:
+        Whether the CRC passed within the transmission budget.
+    num_transmissions:
+        Transmissions used (including the successful one).
+    decoded_bits:
+        Final decoder hard decisions (payload including CRC).
+    failure_history:
+        ``failure_history[t]`` is ``True`` when decoding still failed after
+        transmission ``t + 1``.
+    """
+
+    success: bool
+    num_transmissions: int
+    decoded_bits: Optional[np.ndarray] = None
+    failure_history: List[bool] = field(default_factory=list)
+
+
+class HarqController:
+    """Stop-and-wait HARQ for a single process.
+
+    Parameters
+    ----------
+    buffer:
+        LLR soft buffer (carries the unreliable-memory model).
+    max_transmissions:
+        Total transmission budget per packet (4 = initial + 3 retransmissions).
+    combining:
+        Chase or incremental-redundancy redundancy-version schedule.
+    num_redundancy_versions:
+        Size of the redundancy-version cycle for IR.
+    """
+
+    def __init__(
+        self,
+        buffer: LlrSoftBuffer,
+        max_transmissions: int = 4,
+        combining: CombiningScheme = CombiningScheme.INCREMENTAL_REDUNDANCY,
+        num_redundancy_versions: int = 4,
+    ) -> None:
+        self.buffer = buffer
+        self.max_transmissions = ensure_positive_int(max_transmissions, "max_transmissions")
+        self.combining = CombiningScheme(combining)
+        self.num_redundancy_versions = ensure_positive_int(
+            num_redundancy_versions, "num_redundancy_versions"
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_packet(
+        self,
+        transmission_callback: TransmissionCallback,
+        decode_callback: DecodeCallback,
+    ) -> HarqPacketResult:
+        """Run one packet through its HARQ lifetime.
+
+        Parameters
+        ----------
+        transmission_callback:
+            Produces the de-rate-matched (mother-domain) LLRs of transmission
+            ``t`` given ``(t, redundancy_version)``; each call models an
+            independent channel realisation.
+        decode_callback:
+            Decodes combined mother LLRs, returning ``(decoded_bits, crc_ok)``.
+        """
+        self.buffer.clear()
+        failure_history: List[bool] = []
+        decoded_bits: Optional[np.ndarray] = None
+
+        for transmission_index in range(self.max_transmissions):
+            redundancy_version = self.combining.redundancy_version(
+                transmission_index, self.num_redundancy_versions
+            )
+            new_llrs = np.asarray(
+                transmission_callback(transmission_index, redundancy_version),
+                dtype=np.float64,
+            )
+            combined = self.buffer.combine_and_store(new_llrs)
+            decoded_bits, crc_ok = decode_callback(combined)
+            failure_history.append(not crc_ok)
+            if crc_ok:
+                return HarqPacketResult(
+                    success=True,
+                    num_transmissions=transmission_index + 1,
+                    decoded_bits=decoded_bits,
+                    failure_history=failure_history,
+                )
+        return HarqPacketResult(
+            success=False,
+            num_transmissions=self.max_transmissions,
+            decoded_bits=decoded_bits,
+            failure_history=failure_history,
+        )

@@ -1,0 +1,15 @@
+"""Link layer: configuration, transmitter, receiver and the HSPA+-like system."""
+
+from repro.link.config import LinkConfig
+from repro.link.receiver import Receiver
+from repro.link.system import HspaLikeLink, LinkSimulationResult
+from repro.link.transmitter import EncodedPacket, Transmitter
+
+__all__ = [
+    "EncodedPacket",
+    "HspaLikeLink",
+    "LinkConfig",
+    "LinkSimulationResult",
+    "Receiver",
+    "Transmitter",
+]

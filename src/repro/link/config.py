@@ -1,0 +1,196 @@
+"""Configuration of the HSPA+-like downlink used by all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.channel.multipath import PROFILES, PowerDelayProfile
+from repro.harq.combining import CombiningScheme
+from repro.phy.crc import CRC_BY_LENGTH, Crc
+from repro.phy.modulation import Modulator, get_modulator
+from repro.phy.quantization import LlrQuantizer
+from repro.utils.validation import ensure_positive_int
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """All parameters of one link-level operating mode.
+
+    The defaults reproduce the paper's evaluation setting: 64QAM (the most
+    noise-sensitive, high-throughput mode), 10-bit LLR quantization, a
+    maximum of three retransmissions (four transmissions total) with
+    incremental-redundancy combining, an MMSE equalizer and a
+    standard-compliant multipath profile.
+
+    Parameters
+    ----------
+    modulation:
+        ``"QPSK"``, ``"16QAM"`` or ``"64QAM"``.
+    payload_bits:
+        Information bits per packet, CRC excluded.
+    crc_bits:
+        CRC length appended to the payload (8, 16 or 24).
+    effective_code_rate:
+        Target code rate of a single transmission after rate matching
+        (information+CRC bits over channel bits).
+    turbo_iterations:
+        Maximum turbo-decoder iterations.
+    max_transmissions:
+        HARQ transmission budget per packet (initial + retransmissions).
+    combining:
+        HARQ combining scheme (chase or incremental redundancy).
+    llr_bits:
+        HARQ soft-buffer quantization width (the paper's joint study uses
+        10, 11 and 12).
+    llr_max_abs:
+        Quantizer saturation level.
+    channel_profile:
+        Name of a built-in power delay profile, or a custom profile object.
+    sample_period_ns:
+        Duration of one transmitted sample for resampling the delay profile
+        (the UMTS chip period by default).
+    equalizer_taps:
+        MMSE equalizer filter length.
+    spreading_factor:
+        OVSF spreading factor; 1 bypasses spreading (the despread output is
+        statistically identical, so experiments default to 1 for speed).
+    interleaver_columns:
+        Number of columns of the channel (2nd) interleaver.
+    buffer_architecture:
+        ``"per-transmission"`` (default) stores each transmission's received
+        LLRs in its own region of the HARQ memory and combines them when the
+        decoder reads the buffer — the organisation whose size matches the
+        paper's LLR-storage numbers.  ``"combined"`` stores the running
+        mother-domain sum instead (a virtual-IR-buffer organisation).
+    """
+
+    modulation: str = "64QAM"
+    payload_bits: int = 488
+    crc_bits: int = 16
+    effective_code_rate: float = 0.75
+    turbo_iterations: int = 5
+    max_transmissions: int = 4
+    combining: CombiningScheme = CombiningScheme.INCREMENTAL_REDUNDANCY
+    llr_bits: int = 10
+    llr_max_abs: float = 32.0
+    channel_profile: str | PowerDelayProfile = "ITU-PedA"
+    sample_period_ns: float = 260.417
+    equalizer_taps: int = 12
+    spreading_factor: int = 1
+    interleaver_columns: int = 30
+    buffer_architecture: str = "per-transmission"
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.payload_bits, "payload_bits")
+        ensure_positive_int(self.turbo_iterations, "turbo_iterations")
+        ensure_positive_int(self.max_transmissions, "max_transmissions")
+        ensure_positive_int(self.llr_bits, "llr_bits")
+        ensure_positive_int(self.equalizer_taps, "equalizer_taps")
+        ensure_positive_int(self.spreading_factor, "spreading_factor")
+        if self.crc_bits not in CRC_BY_LENGTH:
+            raise ValueError(
+                f"crc_bits must be one of {sorted(CRC_BY_LENGTH)}, got {self.crc_bits}"
+            )
+        if not 0.0 < self.effective_code_rate <= 1.0:
+            raise ValueError("effective_code_rate must be in (0, 1]")
+        get_modulator(self.modulation)  # validates
+        if self.buffer_architecture not in ("per-transmission", "combined"):
+            raise ValueError(
+                "buffer_architecture must be 'per-transmission' or 'combined', "
+                f"got {self.buffer_architecture!r}"
+            )
+        if isinstance(self.channel_profile, str) and self.channel_profile not in PROFILES:
+            raise ValueError(
+                f"unknown channel profile {self.channel_profile!r}; "
+                f"choose from {sorted(PROFILES)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def crc(self) -> Crc:
+        """The CRC attached to every packet."""
+        return CRC_BY_LENGTH[self.crc_bits]
+
+    @property
+    def block_size(self) -> int:
+        """Turbo code-block size (payload + CRC bits)."""
+        return self.payload_bits + self.crc_bits
+
+    @property
+    def num_coded_bits(self) -> int:
+        """Mother-code output length (3 * block_size, untail-biased encoder)."""
+        return 3 * self.block_size
+
+    @property
+    def modulator(self) -> Modulator:
+        """The configured modulator instance."""
+        return get_modulator(self.modulation)
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Bits per modulation symbol."""
+        return self.modulator.bits_per_symbol
+
+    @property
+    def channel_bits_per_transmission(self) -> int:
+        """Channel bits per (re)transmission, rounded to a whole symbol count."""
+        raw = int(round(self.block_size / self.effective_code_rate))
+        bits_per_symbol = self.bits_per_symbol
+        return int(-(-raw // bits_per_symbol) * bits_per_symbol)  # ceil to multiple
+
+    @property
+    def symbols_per_transmission(self) -> int:
+        """Modulated symbols per (re)transmission."""
+        return self.channel_bits_per_transmission // self.bits_per_symbol
+
+    @property
+    def quantizer(self) -> LlrQuantizer:
+        """The HARQ soft-buffer quantizer."""
+        return LlrQuantizer(num_bits=self.llr_bits, max_abs=self.llr_max_abs)
+
+    @property
+    def llr_storage_words(self) -> int:
+        """Number of LLR words the HARQ soft buffer holds.
+
+        For the per-transmission organisation this is the channel-bit count
+        times the transmission budget; for the combined organisation it is
+        the mother-code length (virtual IR buffer).
+        """
+        if self.buffer_architecture == "per-transmission":
+            return self.channel_bits_per_transmission * self.max_transmissions
+        return self.num_coded_bits
+
+    @property
+    def llr_storage_cells(self) -> int:
+        """Number of SRAM bit cells in the HARQ soft buffer.
+
+        This is the ``M`` of the yield analysis: every stored LLR occupies
+        ``llr_bits`` cells.
+        """
+        return self.llr_storage_words * self.llr_bits
+
+    @property
+    def profile(self) -> PowerDelayProfile:
+        """The resolved power delay profile object."""
+        if isinstance(self.channel_profile, PowerDelayProfile):
+            return self.channel_profile
+        return PROFILES[self.channel_profile]
+
+    # ------------------------------------------------------------------ #
+    def with_updates(self, **kwargs) -> "LinkConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the operating mode."""
+        return (
+            f"{self.modulation}, K={self.block_size} bits "
+            f"(payload {self.payload_bits} + CRC {self.crc_bits}), "
+            f"rate {self.effective_code_rate:.2f}, "
+            f"{self.max_transmissions} transmissions ({self.combining.value}), "
+            f"{self.llr_bits}-bit LLRs, profile {self.profile.name}, "
+            f"LLR storage {self.llr_storage_cells} cells"
+        )

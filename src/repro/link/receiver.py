@@ -1,0 +1,128 @@
+"""HSPA+-like baseband receiver chain (front end).
+
+Implements the receive side of the paper's Fig. 1(a) up to the HARQ buffer:
+MMSE equalization (or RAKE combining), soft QAM demapping into LLRs,
+channel de-interleaving and de-rate-matching into the mother-code domain.
+Turbo decoding and CRC checking happen after HARQ combining and are driven
+by :class:`repro.link.system.HspaLikeLink`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.equalizer.mmse import MmseEqualizer
+from repro.equalizer.rake import RakeReceiver
+from repro.link.config import LinkConfig
+from repro.link.transmitter import Transmitter
+from repro.phy.spreading import Spreader
+
+
+class Receiver:
+    """Receive chain for one :class:`~repro.link.config.LinkConfig`.
+
+    Parameters
+    ----------
+    config:
+        Link operating mode.
+    transmitter:
+        The matching transmitter — shared so that the rate matcher and
+        channel interleaver permutations are identical on both sides.
+    use_rake:
+        Use the RAKE baseline instead of the MMSE equalizer.
+    """
+
+    def __init__(
+        self,
+        config: LinkConfig,
+        transmitter: Transmitter,
+        *,
+        use_rake: bool = False,
+    ) -> None:
+        self.config = config
+        self.transmitter = transmitter
+        self.use_rake = use_rake
+        self.equalizer = MmseEqualizer(num_taps=config.equalizer_taps)
+        self.rake = RakeReceiver()
+        self.spreader: Optional[Spreader] = transmitter.spreader
+
+    # ------------------------------------------------------------------ #
+    def equalize(
+        self,
+        received: np.ndarray,
+        impulse_response: np.ndarray,
+        noise_variance: float,
+    ) -> tuple[np.ndarray, float]:
+        """Recover transmitted symbols and the post-detection noise variance."""
+        num_samples = self.config.symbols_per_transmission
+        if self.spreader is not None:
+            num_samples *= self.spreader.spreading_factor
+        if self.use_rake:
+            symbols, effective_noise = self.rake.combine(
+                received, impulse_response, noise_variance, num_samples
+            )
+        else:
+            output = self.equalizer.equalize(
+                received, impulse_response, noise_variance, num_samples
+            )
+            symbols, effective_noise = output.symbols, output.effective_noise_variance
+        if self.spreader is not None:
+            symbols = self.spreader.despread(symbols)
+            # Despreading averages SF chips, reducing the noise variance.
+            effective_noise = effective_noise / self.spreader.spreading_factor
+        return symbols, effective_noise
+
+    def demap(self, symbols: np.ndarray, effective_noise_variance: float) -> np.ndarray:
+        """Soft-demap equalized symbols into channel-bit LLRs."""
+        llrs = self.config.modulator.demodulate_soft(symbols, effective_noise_variance)
+        return llrs[: self.config.channel_bits_per_transmission]
+
+    def to_mother_domain(self, channel_llrs: np.ndarray, redundancy_version: int) -> np.ndarray:
+        """De-interleave and de-rate-match one transmission's LLRs."""
+        deinterleaved = self.transmitter.channel_interleaver.deinterleave(channel_llrs)
+        return self.transmitter.rate_matcher.derate_match(deinterleaved, redundancy_version)
+
+    # ------------------------------------------------------------------ #
+    def front_end(
+        self,
+        received: np.ndarray,
+        impulse_response: np.ndarray,
+        noise_variance: float,
+    ) -> np.ndarray:
+        """Equalize and demap one transmission into channel-bit LLRs.
+
+        These are the LLRs the HARQ memory stores in the per-transmission
+        buffer organisation (before de-interleaving / de-rate-matching).
+        """
+        symbols, effective_noise = self.equalize(received, impulse_response, noise_variance)
+        return self.demap(symbols, effective_noise)
+
+    def process_transmission(
+        self,
+        received: np.ndarray,
+        impulse_response: np.ndarray,
+        noise_variance: float,
+        redundancy_version: int,
+    ) -> np.ndarray:
+        """Full front-end processing of one (re)transmission.
+
+        Returns the mother-code-domain LLRs ready for HARQ combining.
+        """
+        channel_llrs = self.front_end(received, impulse_response, noise_variance)
+        return self.to_mother_domain(channel_llrs, redundancy_version)
+
+    def decode(self, combined_mother_llrs: np.ndarray):
+        """Turbo-decode combined LLRs and check the CRC.
+
+        Returns
+        -------
+        tuple
+            ``(payload_bits, crc_ok, decoder_result)``.
+        """
+        result = self.transmitter.turbo.decode_buffer(combined_mother_llrs)
+        decoded = result.decoded_bits[0]
+        crc_ok = self.config.crc.check(decoded)
+        payload = decoded[: self.config.payload_bits]
+        return payload, bool(crc_ok), result

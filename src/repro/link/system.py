@@ -1,0 +1,239 @@
+"""The end-to-end HSPA+-like link with HARQ over an unreliable LLR buffer.
+
+:class:`HspaLikeLink` ties together the transmitter, the multipath channel,
+the receiver front end, the HARQ soft buffer (optionally backed by a faulty
+memory array) and the turbo decoder, and simulates complete packet lifetimes.
+
+Two buffer organisations are supported (see
+:class:`~repro.link.config.LinkConfig.buffer_architecture`):
+
+* ``"per-transmission"`` — the HARQ memory stores each transmission's
+  received channel LLRs in its own region; soft combining happens when the
+  decoder reads the buffer.  This matches the LLR-storage sizing the paper
+  quotes and is the default.
+* ``"combined"`` — the memory stores the running mother-domain sum (a
+  virtual-IR-buffer organisation); faults therefore corrupt the *combined*
+  soft values.
+
+Two simulation paths are provided:
+
+* :meth:`HspaLikeLink.simulate_single_packet` — one packet at a time;
+  convenient for tests and for tracing a packet's lifetime.
+* :meth:`HspaLikeLink.simulate_packets` — the Monte-Carlo workhorse: many
+  packets advance through their HARQ rounds in lock-step so that the turbo
+  decoder (the dominant cost) runs on whole batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.channel.multipath import MultipathChannel
+from repro.harq.buffer import LlrSoftBuffer, TransmissionSoftBuffer
+from repro.harq.controller import HarqPacketResult
+from repro.harq.metrics import HarqStatistics, aggregate_results
+from repro.link.config import LinkConfig
+from repro.link.receiver import Receiver
+from repro.link.transmitter import Transmitter
+from repro.utils.rng import RngLike, child_rngs
+from repro.utils.validation import ensure_positive_int
+
+#: Either soft-buffer flavour.
+SoftBuffer = Union[LlrSoftBuffer, TransmissionSoftBuffer]
+#: Creates the soft buffer of packet ``i`` (carrying its fault map).
+BufferFactory = Callable[[int], SoftBuffer]
+
+
+@dataclass
+class LinkSimulationResult:
+    """Outcome of a Monte-Carlo link simulation at one operating point.
+
+    Attributes
+    ----------
+    snr_db:
+        Receive SNR of the simulated point.
+    statistics:
+        Aggregate HARQ statistics (throughput, BLER, transmissions).
+    packet_results:
+        Per-packet outcomes, in simulation order.
+    """
+
+    snr_db: float
+    statistics: HarqStatistics
+    packet_results: List[HarqPacketResult] = field(default_factory=list)
+
+
+class HspaLikeLink:
+    """End-to-end link simulator for one :class:`~repro.link.config.LinkConfig`.
+
+    Parameters
+    ----------
+    config:
+        Link operating mode.
+    use_rake:
+        Use the RAKE baseline instead of the MMSE equalizer.
+    """
+
+    def __init__(self, config: LinkConfig, *, use_rake: bool = False) -> None:
+        self.config = config
+        self.transmitter = Transmitter(config)
+        self.receiver = Receiver(config, self.transmitter, use_rake=use_rake)
+        self.channel = MultipathChannel(config.profile, config.sample_period_ns)
+
+    # ------------------------------------------------------------------ #
+    # buffer construction
+    # ------------------------------------------------------------------ #
+    def make_buffer(self, fault_map=None, ecc=None) -> SoftBuffer:
+        """Create a soft buffer matching the configured architecture.
+
+        The fault map (if given) must cover
+        :attr:`~repro.link.config.LinkConfig.llr_storage_words` words of
+        ``llr_bits`` columns (or the ECC codeword width when *ecc* is given).
+        """
+        if self.config.buffer_architecture == "per-transmission":
+            return TransmissionSoftBuffer(
+                words_per_transmission=self.config.channel_bits_per_transmission,
+                num_slots=self.config.max_transmissions,
+                quantizer=self.config.quantizer,
+                fault_map=fault_map,
+                ecc=ecc,
+            )
+        return LlrSoftBuffer(
+            num_llrs=self.config.llr_storage_words,
+            quantizer=self.config.quantizer,
+            fault_map=fault_map,
+            ecc=ecc,
+        )
+
+    # ------------------------------------------------------------------ #
+    # single-packet path
+    # ------------------------------------------------------------------ #
+    def simulate_single_packet(
+        self,
+        snr_db: float,
+        rng: RngLike = None,
+        buffer: Optional[SoftBuffer] = None,
+        payload: Optional[np.ndarray] = None,
+    ) -> HarqPacketResult:
+        """Simulate one packet's complete HARQ lifetime."""
+        factory = None if buffer is None else (lambda _i: buffer)
+        result = self.simulate_packets(
+            1, snr_db, rng, buffer_factory=factory, payloads=None if payload is None else [payload]
+        )
+        return result.packet_results[0]
+
+    # ------------------------------------------------------------------ #
+    # batched Monte-Carlo path
+    # ------------------------------------------------------------------ #
+    def simulate_packets(
+        self,
+        num_packets: int,
+        snr_db: float,
+        rng: RngLike = None,
+        buffer_factory: Optional[BufferFactory] = None,
+        payloads: Optional[List[np.ndarray]] = None,
+    ) -> LinkSimulationResult:
+        """Simulate *num_packets* independent packets at one SNR point.
+
+        Packets advance through HARQ rounds in lock-step so that turbo
+        decoding is batched; every packet sees independent payloads, channel
+        realisations and noise, and gets its own soft buffer from
+        *buffer_factory* (defect-free buffers by default).
+        """
+        num_packets = ensure_positive_int(num_packets, "num_packets")
+        packet_rngs = child_rngs(rng, num_packets)
+        factory = buffer_factory or (lambda _index: self.make_buffer())
+
+        if payloads is None:
+            payloads = [self.transmitter.random_payload(r) for r in packet_rngs]
+        elif len(payloads) != num_packets:
+            raise ValueError(f"expected {num_packets} payloads, got {len(payloads)}")
+        packets = [self.transmitter.encode(p) for p in payloads]
+        buffers = [factory(i) for i in range(num_packets)]
+        for soft_buffer in buffers:
+            soft_buffer.clear()
+
+        transmissions_used = np.zeros(num_packets, dtype=np.int64)
+        success = np.zeros(num_packets, dtype=bool)
+        failure_history: List[List[bool]] = [[] for _ in range(num_packets)]
+        final_decoded: List[Optional[np.ndarray]] = [None] * num_packets
+
+        per_transmission = self.config.buffer_architecture == "per-transmission"
+        active = list(range(num_packets))
+        for transmission_index in range(self.config.max_transmissions):
+            if not active:
+                break
+            redundancy_version = self.config.combining.redundancy_version(transmission_index)
+            combined_rows = []
+            for packet_index in active:
+                generator = packet_rngs[packet_index]
+                samples = self.transmitter.transmit(packets[packet_index], redundancy_version)
+                received, impulse_response, noise_variance = self.channel.apply(
+                    samples, snr_db, generator
+                )
+                soft_buffer = buffers[packet_index]
+                if per_transmission:
+                    channel_llrs = self.receiver.front_end(
+                        received, impulse_response, noise_variance
+                    )
+                    soft_buffer.store_transmission(
+                        transmission_index, channel_llrs, redundancy_version
+                    )
+                    combined = soft_buffer.combined_mother_llrs(
+                        self.receiver.to_mother_domain
+                    )
+                else:
+                    mother_llrs = self.receiver.process_transmission(
+                        received, impulse_response, noise_variance, redundancy_version
+                    )
+                    combined = soft_buffer.combine_and_store(mother_llrs)
+                combined_rows.append(combined)
+                transmissions_used[packet_index] += 1
+
+            decode_result = self.transmitter.turbo.decode_buffer(np.stack(combined_rows))
+            still_active = []
+            for row_index, packet_index in enumerate(active):
+                decoded = decode_result.decoded_bits[row_index]
+                crc_ok = self.config.crc.check(decoded)
+                failure_history[packet_index].append(not crc_ok)
+                final_decoded[packet_index] = decoded[: self.config.payload_bits]
+                if crc_ok:
+                    success[packet_index] = True
+                else:
+                    still_active.append(packet_index)
+            active = still_active
+
+        packet_results = [
+            HarqPacketResult(
+                success=bool(success[i]),
+                num_transmissions=int(transmissions_used[i]),
+                decoded_bits=final_decoded[i],
+                failure_history=failure_history[i],
+            )
+            for i in range(num_packets)
+        ]
+        statistics = aggregate_results(packet_results, self.config.payload_bits)
+        return LinkSimulationResult(
+            snr_db=float(snr_db), statistics=statistics, packet_results=packet_results
+        )
+
+    # ------------------------------------------------------------------ #
+    def snr_sweep(
+        self,
+        snr_points_db,
+        num_packets: int,
+        rng: RngLike = None,
+        buffer_factory: Optional[BufferFactory] = None,
+    ) -> List[LinkSimulationResult]:
+        """Run :meth:`simulate_packets` over a list of SNR points."""
+        points = [float(s) for s in snr_points_db]
+        sweep_rngs = child_rngs(rng, len(points))
+        results = []
+        for point_rng, snr_db in zip(sweep_rngs, points):
+            results.append(
+                self.simulate_packets(num_packets, snr_db, point_rng, buffer_factory)
+            )
+        return results

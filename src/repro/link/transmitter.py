@@ -1,0 +1,101 @@
+"""HSPA+-like baseband transmitter chain.
+
+Implements the transmit side of the paper's Fig. 1(a): CRC attachment, turbo
+encoding, rate matching with a redundancy version, channel interleaving,
+QAM mapping and (optionally) OVSF spreading and RRC pulse shaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.link.config import LinkConfig
+from repro.phy.interleaving import ChannelInterleaver
+from repro.phy.pulse_shaping import PulseShaper
+from repro.phy.rate_matching import RateMatcher
+from repro.phy.spreading import Spreader
+from repro.phy.turbo import TurboCode
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import ensure_bit_array
+
+
+@dataclass
+class EncodedPacket:
+    """A packet after CRC attachment and turbo encoding.
+
+    The coded buffer is computed once per packet; each (re)transmission only
+    re-runs the (cheap) rate matching, interleaving and mapping stages with
+    its redundancy version.
+    """
+
+    payload: np.ndarray
+    payload_with_crc: np.ndarray
+    coded_buffer: np.ndarray
+
+
+class Transmitter:
+    """Transmit chain for one :class:`~repro.link.config.LinkConfig`.
+
+    Parameters
+    ----------
+    config:
+        Link operating mode.
+    turbo:
+        Optionally share a pre-built :class:`~repro.phy.turbo.TurboCode`
+        (the receiver must use the same internal interleaver).
+    """
+
+    def __init__(self, config: LinkConfig, turbo: Optional[TurboCode] = None) -> None:
+        self.config = config
+        self.turbo = turbo or TurboCode(
+            config.block_size, num_iterations=config.turbo_iterations
+        )
+        self.rate_matcher = RateMatcher(
+            num_coded_bits=config.num_coded_bits,
+            num_output_bits=config.channel_bits_per_transmission,
+        )
+        self.channel_interleaver = ChannelInterleaver(config.interleaver_columns)
+        self.spreader = (
+            Spreader(config.spreading_factor) if config.spreading_factor > 1 else None
+        )
+        self.pulse_shaper: Optional[PulseShaper] = None
+
+    # ------------------------------------------------------------------ #
+    def random_payload(self, rng: RngLike = None) -> np.ndarray:
+        """Generate a uniformly random payload of the configured size."""
+        return as_rng(rng).integers(0, 2, self.config.payload_bits, dtype=np.int8)
+
+    def encode(self, payload: np.ndarray) -> EncodedPacket:
+        """CRC-attach and turbo-encode a payload."""
+        bits = ensure_bit_array(payload, "payload")
+        if bits.size != self.config.payload_bits:
+            raise ValueError(
+                f"expected {self.config.payload_bits} payload bits, got {bits.size}"
+            )
+        with_crc = self.config.crc.attach(bits)
+        coded = self.turbo.encode(with_crc)
+        return EncodedPacket(payload=bits, payload_with_crc=with_crc, coded_buffer=coded)
+
+    # ------------------------------------------------------------------ #
+    def transmission_bits(self, packet: EncodedPacket, redundancy_version: int) -> np.ndarray:
+        """Rate-matched and channel-interleaved bits of one transmission."""
+        selected = self.rate_matcher.rate_match(packet.coded_buffer, redundancy_version)
+        return self.channel_interleaver.interleave(selected)
+
+    def modulate(self, channel_bits: np.ndarray) -> np.ndarray:
+        """Map channel bits to (optionally spread) transmit samples."""
+        symbols = self.config.modulator.modulate(channel_bits)
+        if self.spreader is not None:
+            symbols = self.spreader.spread(symbols)
+        if self.pulse_shaper is not None:
+            symbols = self.pulse_shaper.shape(symbols)
+        return symbols
+
+    def transmit(
+        self, packet: EncodedPacket, redundancy_version: int
+    ) -> np.ndarray:
+        """Produce the transmit samples of one (re)transmission."""
+        return self.modulate(self.transmission_bits(packet, redundancy_version))

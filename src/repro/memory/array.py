@@ -1,0 +1,156 @@
+"""Behavioural model of an SRAM array with an explicit fault map.
+
+The :class:`MemoryArray` is what the HARQ soft buffer is built on: it stores
+fixed-width words (one per LLR), and reads them back through the array's
+fault map, flipping (or forcing) the bits that land on faulty cells — exactly
+the injection mechanism of the paper's system-level fault simulator.
+
+Optionally the array can protect its words with a Hamming code
+(:class:`~repro.memory.ecc.HammingCode`), modelling the conventional
+full-ECC alternative of Section 6.2: the parity bits are stored in (and read
+back through) additional columns of the same unreliable fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.memory.ecc import HammingCode
+from repro.memory.faults import FaultMap
+from repro.utils.validation import ensure_positive_int
+
+
+@dataclass
+class MemoryArray:
+    """A word-organised SRAM array with fault injection on read.
+
+    Parameters
+    ----------
+    num_words:
+        Number of storage words (one per quantized LLR in the HARQ buffer).
+    bits_per_word:
+        Data bits per word (the LLR quantizer width).
+    fault_map:
+        Fault locations and semantics; defaults to a defect-free array.  The
+        fault map must cover the *stored* word width, i.e.
+        ``bits_per_word`` columns without ECC or ``ecc.codeword_bits``
+        columns with ECC.
+    ecc:
+        Optional Hamming code protecting every word.
+    """
+
+    num_words: int
+    bits_per_word: int
+    fault_map: Optional[FaultMap] = None
+    ecc: Optional[HammingCode] = None
+
+    _stored_bits: np.ndarray = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.num_words, "num_words")
+        ensure_positive_int(self.bits_per_word, "bits_per_word")
+        if self.ecc is not None and self.ecc.data_bits != self.bits_per_word:
+            raise ValueError(
+                f"ECC data width {self.ecc.data_bits} does not match "
+                f"bits_per_word {self.bits_per_word}"
+            )
+        if self.fault_map is None:
+            self.fault_map = FaultMap.empty(self.num_words, self.stored_bits_per_word)
+        if self.fault_map.num_words != self.num_words:
+            raise ValueError(
+                f"fault map covers {self.fault_map.num_words} words, array has {self.num_words}"
+            )
+        if self.fault_map.bits_per_word != self.stored_bits_per_word:
+            raise ValueError(
+                f"fault map covers {self.fault_map.bits_per_word} bit columns, "
+                f"array stores {self.stored_bits_per_word}"
+            )
+        self._stored_bits = np.zeros(
+            (self.num_words, self.stored_bits_per_word), dtype=np.int8
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stored_bits_per_word(self) -> int:
+        """Physical columns per word (data bits, plus parity bits with ECC)."""
+        return self.ecc.codeword_bits if self.ecc is not None else self.bits_per_word
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of bit cells in the array."""
+        return self.num_words * self.stored_bits_per_word
+
+    @property
+    def defect_rate(self) -> float:
+        """Fraction of faulty cells in the array."""
+        return self.fault_map.defect_rate
+
+    # ------------------------------------------------------------------ #
+    def write_words(self, words: np.ndarray, word_bits: np.ndarray | None = None) -> None:
+        """Write unsigned word values into the array.
+
+        Parameters
+        ----------
+        words:
+            Integer array of length :attr:`num_words` (each fitting in
+            ``bits_per_word`` bits).  Ignored when *word_bits* is given.
+        word_bits:
+            Alternative interface: a ``(num_words, bits_per_word)`` bit
+            matrix (MSB first), avoiding a redundant pack/unpack round trip.
+        """
+        if word_bits is not None:
+            bits = np.asarray(word_bits, dtype=np.int8)
+            if bits.shape != (self.num_words, self.bits_per_word):
+                raise ValueError(
+                    f"expected shape ({self.num_words}, {self.bits_per_word}), got {bits.shape}"
+                )
+        else:
+            values = np.asarray(words, dtype=np.int64)
+            if values.shape != (self.num_words,):
+                raise ValueError(f"expected {self.num_words} words, got {values.shape}")
+            if values.size and (values.min() < 0 or values.max() >= (1 << self.bits_per_word)):
+                raise ValueError(f"word values must fit in {self.bits_per_word} bits")
+            shifts = np.arange(self.bits_per_word - 1, -1, -1, dtype=np.int64)
+            bits = ((values[:, None] >> shifts[None, :]) & 1).astype(np.int8)
+        if self.ecc is not None:
+            bits = self.ecc.encode(bits)
+        self._stored_bits = bits.astype(np.int8)
+
+    def read_bits(self) -> np.ndarray:
+        """Read the raw stored bits back through the fault map (no ECC decode)."""
+        return self.fault_map.apply_to_bits(self._stored_bits)
+
+    def read_words(self) -> np.ndarray:
+        """Read back word values, applying fault injection and ECC correction."""
+        read = self.read_bits()
+        if self.ecc is not None:
+            data_bits, _, _ = self.ecc.decode(read)
+        else:
+            data_bits = read
+        weights = 1 << np.arange(self.bits_per_word - 1, -1, -1, dtype=np.int64)
+        return data_bits.astype(np.int64) @ weights
+
+    def read_word_bits(self) -> np.ndarray:
+        """Read back the data-bit matrix (fault injection + ECC correction applied)."""
+        read = self.read_bits()
+        if self.ecc is not None:
+            data_bits, _, _ = self.ecc.decode(read)
+            return data_bits
+        return read
+
+    # ------------------------------------------------------------------ #
+    def corrupted_word_count(self) -> int:
+        """Number of words whose read-back data differs from what was written."""
+        written_data = (
+            self._stored_bits[:, : self.bits_per_word]
+            if self.ecc is not None
+            else self._stored_bits
+        )
+        return int(np.any(self.read_word_bits() != written_data, axis=1).sum())
+
+    def clear(self) -> None:
+        """Reset the stored contents to all zeros (fault map unchanged)."""
+        self._stored_bits = np.zeros_like(self._stored_bits)

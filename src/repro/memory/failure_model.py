@@ -1,0 +1,121 @@
+"""Combined cell-failure model: parametric variations + soft errors.
+
+Section 3 of the paper distinguishes *persistent* failures (parametric, i.e.
+RDF-induced read/write/access/hold failures that determine yield) and
+*non-persistent* failures (soft errors).  This module combines the two into a
+single per-cell failure probability for a given operating point, and breaks
+the parametric component down into the four mechanisms listed in the paper so
+that sensitivity studies can weight them separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.memory.cells import BitCellType, CELL_6T, SoftErrorModel
+from repro.utils.validation import ensure_probability
+
+#: Default split of the parametric failure probability across mechanisms.
+#: Read-stability failures dominate for 6T cells under voltage scaling.
+DEFAULT_MECHANISM_WEIGHTS: Dict[str, float] = {
+    "read_upset": 0.45,
+    "write_failure": 0.30,
+    "access_time": 0.15,
+    "hold_failure": 0.10,
+}
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Per-cell failure probability at a given supply voltage.
+
+    Parameters
+    ----------
+    cell:
+        Bit-cell type providing the parametric failure curve.
+    soft_errors:
+        Soft-error model (``None`` disables the non-persistent component).
+    mechanism_weights:
+        Relative weights of the four parametric failure mechanisms; they are
+        normalised to sum to one.
+    """
+
+    cell: BitCellType = CELL_6T
+    soft_errors: SoftErrorModel | None = field(default_factory=SoftErrorModel)
+    mechanism_weights: tuple = tuple(DEFAULT_MECHANISM_WEIGHTS.items())
+
+    def __post_init__(self) -> None:
+        weights = dict(self.mechanism_weights)
+        if not weights:
+            raise ValueError("mechanism_weights must not be empty")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("mechanism_weights must sum to a positive value")
+        normalised = tuple((k, v / total) for k, v in weights.items())
+        object.__setattr__(self, "mechanism_weights", normalised)
+
+    # ------------------------------------------------------------------ #
+    def parametric_failure_probability(self, vdd: float) -> float:
+        """Persistent (yield-relevant) per-cell failure probability."""
+        return self.cell.failure_probability(vdd)
+
+    def soft_error_probability(self, vdd: float) -> float:
+        """Non-persistent per-cell upset probability per exposure interval."""
+        if self.soft_errors is None:
+            return 0.0
+        return self.soft_errors.rate(vdd)
+
+    def total_failure_probability(self, vdd: float) -> float:
+        """Probability that a cell is unreliable at *vdd* (either mechanism)."""
+        p_param = self.parametric_failure_probability(vdd)
+        p_soft = self.soft_error_probability(vdd)
+        # Independent mechanisms: union bound made exact.
+        return float(1.0 - (1.0 - p_param) * (1.0 - p_soft))
+
+    def mechanism_breakdown(self, vdd: float) -> Dict[str, float]:
+        """Split the parametric failure probability across mechanisms."""
+        p_param = self.parametric_failure_probability(vdd)
+        return {name: weight * p_param for name, weight in self.mechanism_weights}
+
+    # ------------------------------------------------------------------ #
+    def voltage_sweep(self, voltages: np.ndarray) -> Dict[str, np.ndarray]:
+        """Evaluate the model over an array of supply voltages.
+
+        Returns a dict with ``"parametric"``, ``"soft"`` and ``"total"``
+        per-cell probabilities (arrays aligned with *voltages*).
+        """
+        volts = np.asarray(voltages, dtype=np.float64)
+        parametric = self.cell.failure_probabilities(volts)
+        soft = (
+            self.soft_errors.rates(volts)
+            if self.soft_errors is not None
+            else np.zeros_like(volts)
+        )
+        total = 1.0 - (1.0 - parametric) * (1.0 - soft)
+        return {"parametric": parametric, "soft": soft, "total": total}
+
+    # ------------------------------------------------------------------ #
+    def expected_defects(self, vdd: float, array_size: int) -> float:
+        """Expected number of faulty cells in an array of *array_size* cells."""
+        if array_size < 0:
+            raise ValueError("array_size must be non-negative")
+        return self.total_failure_probability(vdd) * array_size
+
+
+def failure_probability_with_margin(base_probability: float, margin_sigma: float) -> float:
+    """Scale a failure probability by an additional design margin (in sigma).
+
+    Utility for what-if analyses: a positive margin reduces the failure
+    probability as if the noise-margin distribution were shifted by
+    ``margin_sigma`` standard deviations.
+    """
+    from scipy.stats import norm
+
+    base_probability = ensure_probability(base_probability, "base_probability")
+    if base_probability in (0.0, 1.0):
+        return base_probability
+    equivalent_sigma = norm.isf(base_probability)
+    return float(norm.sf(equivalent_sigma + margin_sigma))

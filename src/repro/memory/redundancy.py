@@ -1,0 +1,138 @@
+"""Redundant row/column repair — the conventional yield-recovery technique.
+
+Section 3 of the paper notes that "the addition of redundant rows/columns
+could help to recover from such defects, but as the size of memory and the
+number of defects increases they are insufficient to avoid yield loss".  This
+module models that technique so benchmarks can quantify exactly when it stops
+being sufficient, as a baseline against the paper's accept-defects approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memory.faults import FaultMap
+from repro.utils.validation import ensure_non_negative_int, ensure_positive_int
+
+
+@dataclass(frozen=True)
+class RedundancyRepair:
+    """Spare-row / spare-column repair of a 2-D cell array.
+
+    Parameters
+    ----------
+    spare_rows:
+        Number of spare word rows available for remapping.
+    spare_columns:
+        Number of spare bit columns available for remapping.
+    """
+
+    spare_rows: int = 0
+    spare_columns: int = 0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative_int(self.spare_rows, "spare_rows")
+        ensure_non_negative_int(self.spare_columns, "spare_columns")
+
+    # ------------------------------------------------------------------ #
+    def repair(self, fault_map: FaultMap) -> tuple[FaultMap, bool]:
+        """Attempt to repair *fault_map* with the available spares.
+
+        Uses the standard greedy must-repair heuristic: rows (columns) with
+        more faults than the remaining column (row) spares must be replaced
+        by a spare row (column); remaining single faults are covered by
+        whichever spare type is still available.
+
+        Returns
+        -------
+        tuple
+            ``(repaired_map, fully_repaired)`` — a fault map with the
+            repaired cells cleared, and a flag indicating whether every
+            faulty cell was covered.
+        """
+        mask = fault_map.fault_mask.copy()
+        rows_left = self.spare_rows
+        cols_left = self.spare_columns
+
+        # Must-repair phase.
+        changed = True
+        while changed:
+            changed = False
+            row_fault_counts = mask.sum(axis=1)
+            must_rows = np.nonzero(row_fault_counts > cols_left)[0]
+            for row in must_rows:
+                if rows_left == 0:
+                    break
+                if mask[row].any():
+                    mask[row, :] = False
+                    rows_left -= 1
+                    changed = True
+            col_fault_counts = mask.sum(axis=0)
+            must_cols = np.nonzero(col_fault_counts > rows_left)[0]
+            for col in must_cols:
+                if cols_left == 0:
+                    break
+                if mask[:, col].any():
+                    mask[:, col] = False
+                    cols_left -= 1
+                    changed = True
+
+        # Final greedy phase: cover remaining faults with whatever is left.
+        while mask.any() and (rows_left > 0 or cols_left > 0):
+            row_fault_counts = mask.sum(axis=1)
+            col_fault_counts = mask.sum(axis=0)
+            best_row = int(np.argmax(row_fault_counts))
+            best_col = int(np.argmax(col_fault_counts))
+            use_row = rows_left > 0 and (
+                cols_left == 0 or row_fault_counts[best_row] >= col_fault_counts[best_col]
+            )
+            if use_row:
+                mask[best_row, :] = False
+                rows_left -= 1
+            else:
+                mask[:, best_col] = False
+                cols_left -= 1
+
+        repaired = FaultMap(
+            fault_map.num_words,
+            fault_map.bits_per_word,
+            mask,
+            fault_map.fault_model,
+            fault_map.stuck_values,
+        )
+        return repaired, bool(not mask.any())
+
+    # ------------------------------------------------------------------ #
+    def repair_yield(
+        self,
+        cell_failure_probability: float,
+        num_words: int,
+        bits_per_word: int,
+        num_trials: int = 200,
+        rng=None,
+    ) -> float:
+        """Monte-Carlo estimate of the yield achieved with this repair scheme."""
+        ensure_positive_int(num_trials, "num_trials")
+        from repro.utils.rng import child_rngs
+
+        successes = 0
+        for trial_rng in child_rngs(rng, num_trials):
+            fault_map = FaultMap.from_cell_failure_probability(
+                num_words, bits_per_word, cell_failure_probability, trial_rng
+            )
+            _, fully_repaired = self.repair(fault_map)
+            successes += int(fully_repaired)
+        return successes / num_trials
+
+    @property
+    def area_overhead(self) -> float:
+        """Storage overhead of the spares for a reference 256-row, 10-column array.
+
+        Provided for quick comparisons; precise overheads depend on the array
+        organisation and are computed by :class:`repro.memory.power.AreaModel`.
+        """
+        reference_rows, reference_cols = 256, 10
+        extra = self.spare_rows * reference_cols + self.spare_columns * reference_rows
+        return extra / (reference_rows * reference_cols)

@@ -1,0 +1,127 @@
+"""Bit-level helpers used throughout the transmit and receive chains."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import ensure_bit_array, ensure_positive_int
+
+
+def random_bits(n: int, rng: RngLike = None) -> np.ndarray:
+    """Return *n* uniformly random bits as an ``int8`` array."""
+    n = ensure_positive_int(n, "n") if n != 0 else 0
+    return as_rng(rng).integers(0, 2, size=n, dtype=np.int8)
+
+
+def int_to_bits(value: int, width: int, *, msb_first: bool = True) -> np.ndarray:
+    """Convert a non-negative integer to a fixed-width bit array.
+
+    Parameters
+    ----------
+    value:
+        Non-negative integer to convert.
+    width:
+        Number of bits in the output.
+    msb_first:
+        If ``True`` (default) the most significant bit comes first.
+    """
+    width = ensure_positive_int(width, "width")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    bits = np.array([(value >> i) & 1 for i in range(width)], dtype=np.int8)
+    return bits[::-1].copy() if msb_first else bits
+
+
+def bits_to_int(bits: Union[Sequence[int], np.ndarray], *, msb_first: bool = True) -> int:
+    """Convert a bit array back to an integer (inverse of :func:`int_to_bits`)."""
+    arr = ensure_bit_array(bits)
+    if not msb_first:
+        arr = arr[::-1]
+    value = 0
+    for b in arr:
+        value = (value << 1) | int(b)
+    return value
+
+
+def pack_bits(bits: np.ndarray, width: int, *, msb_first: bool = True) -> np.ndarray:
+    """Pack a flat bit array into integers of *width* bits each (vectorised).
+
+    The length of *bits* must be a multiple of *width*.
+    """
+    arr = ensure_bit_array(bits)
+    width = ensure_positive_int(width, "width")
+    if arr.size % width:
+        raise ValueError(f"bit length {arr.size} is not a multiple of width {width}")
+    mat = arr.reshape(-1, width).astype(np.int64)
+    if msb_first:
+        weights = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
+    else:
+        weights = 1 << np.arange(width, dtype=np.int64)
+    return mat @ weights
+
+
+def unpack_bits(values: np.ndarray, width: int, *, msb_first: bool = True) -> np.ndarray:
+    """Unpack integers into a flat bit array of *width* bits each (vectorised)."""
+    vals = np.asarray(values, dtype=np.int64)
+    width = ensure_positive_int(width, "width")
+    if vals.size and (vals.min() < 0 or vals.max() >= (1 << width)):
+        raise ValueError(f"values must be in [0, 2**{width})")
+    if msb_first:
+        shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+    else:
+        shifts = np.arange(width, dtype=np.int64)
+    bits = (vals[:, None] >> shifts[None, :]) & 1
+    return bits.reshape(-1).astype(np.int8)
+
+
+def bits_to_symbols_matrix(bits: np.ndarray, bits_per_symbol: int) -> np.ndarray:
+    """Reshape a flat bit stream into a (num_symbols, bits_per_symbol) matrix.
+
+    Pads with zeros if the length is not a multiple of *bits_per_symbol*.
+    """
+    arr = ensure_bit_array(bits)
+    bits_per_symbol = ensure_positive_int(bits_per_symbol, "bits_per_symbol")
+    remainder = arr.size % bits_per_symbol
+    if remainder:
+        pad = bits_per_symbol - remainder
+        arr = np.concatenate([arr, np.zeros(pad, dtype=np.int8)])
+    return arr.reshape(-1, bits_per_symbol)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions in which two equal-length bit arrays differ."""
+    arr_a = ensure_bit_array(a, "a")
+    arr_b = ensure_bit_array(b, "b")
+    if arr_a.size != arr_b.size:
+        raise ValueError(f"length mismatch: {arr_a.size} vs {arr_b.size}")
+    return int(np.count_nonzero(arr_a != arr_b))
+
+
+def bit_error_rate(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of differing positions between two equal-length bit arrays."""
+    arr_a = ensure_bit_array(a, "a")
+    if arr_a.size == 0:
+        return 0.0
+    return hamming_distance(a, b) / arr_a.size
+
+
+def gray_code(n_bits: int) -> np.ndarray:
+    """Return the length-``2**n_bits`` binary-reflected Gray code sequence."""
+    n_bits = ensure_positive_int(n_bits, "n_bits")
+    values = np.arange(1 << n_bits, dtype=np.int64)
+    return values ^ (values >> 1)
+
+
+def gray_to_binary(gray: np.ndarray, n_bits: int) -> np.ndarray:
+    """Invert the binary-reflected Gray code (vectorised)."""
+    out = np.asarray(gray, dtype=np.int64).copy()
+    shift = 1
+    while shift < n_bits:
+        out ^= out >> shift
+        shift <<= 1
+    return out

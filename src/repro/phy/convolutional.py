@@ -1,0 +1,178 @@
+"""Non-recursive convolutional code with Viterbi decoding.
+
+UMTS uses a rate-1/3, constraint-length-9 convolutional code for control
+channels; it also serves in this library as the *hard-decision* / simpler
+baseline against which the soft turbo-coded HARQ chain is compared (the
+"hard receiver" of Section 2.1 implies lower complexity but a sizable
+performance loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import ensure_bit_array, ensure_positive_int
+
+_NEG_INF = -1e30
+
+#: UMTS rate-1/3 convolutional code generators (TS 25.212), octal.
+UMTS_CONV_GENERATORS = (0o557, 0o663, 0o711)
+UMTS_CONV_CONSTRAINT_LENGTH = 9
+
+
+def _octal_taps(octal_value: int, constraint_length: int) -> np.ndarray:
+    return np.array(
+        [(octal_value >> i) & 1 for i in range(constraint_length - 1, -1, -1)],
+        dtype=np.int8,
+    )
+
+
+@dataclass(frozen=True)
+class ConvolutionalCode:
+    """Feed-forward convolutional encoder + soft/hard Viterbi decoder.
+
+    Parameters
+    ----------
+    generators:
+        Octal generator polynomials, one per output bit.
+    constraint_length:
+        Total number of taps (memory + 1).
+    terminate:
+        If ``True`` (default) the encoder appends ``constraint_length - 1``
+        zero tail bits so the trellis ends in state 0.
+    """
+
+    generators: Sequence[int] = (0o5, 0o7)
+    constraint_length: int = 3
+    terminate: bool = True
+
+    _next_state: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _outputs: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.constraint_length, "constraint_length")
+        if self.constraint_length < 2:
+            raise ValueError("constraint_length must be at least 2")
+        memory = self.constraint_length - 1
+        num_states = 1 << memory
+        taps = np.stack([_octal_taps(g, self.constraint_length) for g in self.generators])
+        next_state = np.zeros((num_states, 2), dtype=np.int64)
+        outputs = np.zeros((num_states, 2, len(self.generators)), dtype=np.int8)
+        for state in range(num_states):
+            register = np.array(
+                [(state >> (memory - 1 - i)) & 1 for i in range(memory)], dtype=np.int8
+            )
+            for u in (0, 1):
+                full = np.concatenate([[u], register])
+                outputs[state, u] = taps @ full % 2
+                new_register = full[:-1]
+                ns = 0
+                for bit in new_register:
+                    ns = (ns << 1) | int(bit)
+                next_state[state, u] = ns
+        object.__setattr__(self, "generators", tuple(self.generators))
+        object.__setattr__(self, "_next_state", next_state)
+        object.__setattr__(self, "_outputs", outputs)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def rate(self) -> float:
+        """Code rate ignoring termination overhead."""
+        return 1.0 / len(self.generators)
+
+    @property
+    def num_states(self) -> int:
+        """Number of trellis states."""
+        return int(self._next_state.shape[0])
+
+    @property
+    def num_outputs(self) -> int:
+        """Coded bits emitted per information bit."""
+        return len(self.generators)
+
+    def num_coded_bits(self, num_info_bits: int) -> int:
+        """Coded sequence length for *num_info_bits* information bits."""
+        tail = self.constraint_length - 1 if self.terminate else 0
+        return (num_info_bits + tail) * self.num_outputs
+
+    # ------------------------------------------------------------------ #
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode a bit sequence (tail bits appended when terminating)."""
+        info = ensure_bit_array(bits)
+        if self.terminate:
+            info = np.concatenate(
+                [info, np.zeros(self.constraint_length - 1, dtype=np.int8)]
+            )
+        state = 0
+        out = np.empty((info.size, self.num_outputs), dtype=np.int8)
+        for i, u in enumerate(info):
+            out[i] = self._outputs[state, u]
+            state = int(self._next_state[state, u])
+        return out.reshape(-1)
+
+    # ------------------------------------------------------------------ #
+    def decode(self, llrs: np.ndarray) -> np.ndarray:
+        """Soft-decision Viterbi decoding.
+
+        Parameters
+        ----------
+        llrs:
+            Channel LLRs (positive favours bit 0), length must be a multiple
+            of :attr:`num_outputs`.
+
+        Returns
+        -------
+        numpy.ndarray
+            Decoded information bits (tail bits stripped when terminating).
+        """
+        llr_arr = np.asarray(llrs, dtype=np.float64).reshape(-1)
+        n_out = self.num_outputs
+        if llr_arr.size % n_out:
+            raise ValueError(f"LLR length must be a multiple of {n_out}")
+        num_steps = llr_arr.size // n_out
+        stage_llrs = llr_arr.reshape(num_steps, n_out)
+
+        num_states = self.num_states
+        # Branch metric: sum over outputs of 0.5 * sign(output bit) * LLR.
+        output_sign = 1.0 - 2.0 * self._outputs.astype(np.float64)  # (S, 2, n_out)
+
+        metrics = np.full(num_states, _NEG_INF)
+        metrics[0] = 0.0
+        survivors = np.zeros((num_steps, num_states), dtype=np.int64)
+        survivor_inputs = np.zeros((num_steps, num_states), dtype=np.int8)
+
+        for t in range(num_steps):
+            branch = 0.5 * output_sign @ stage_llrs[t]  # (S, 2)
+            candidate = metrics[:, None] + branch  # (S, 2)
+            new_metrics = np.full(num_states, _NEG_INF)
+            for state in range(num_states):
+                for u in (0, 1):
+                    ns = self._next_state[state, u]
+                    if candidate[state, u] > new_metrics[ns]:
+                        new_metrics[ns] = candidate[state, u]
+                        survivors[t, ns] = state
+                        survivor_inputs[t, ns] = u
+            metrics = new_metrics - new_metrics.max()
+
+        # Trace back from the best final state (state 0 when terminated).
+        state = 0 if self.terminate else int(np.argmax(metrics))
+        decoded = np.empty(num_steps, dtype=np.int8)
+        for t in range(num_steps - 1, -1, -1):
+            decoded[t] = survivor_inputs[t, state]
+            state = int(survivors[t, state])
+        if self.terminate:
+            decoded = decoded[: num_steps - (self.constraint_length - 1)]
+        return decoded
+
+    def decode_hard(self, bits: np.ndarray) -> np.ndarray:
+        """Hard-decision Viterbi decoding of received coded bits."""
+        hard = ensure_bit_array(bits).astype(np.float64)
+        return self.decode(1.0 - 2.0 * hard)
+
+
+def umts_convolutional_code() -> ConvolutionalCode:
+    """The UMTS rate-1/3, constraint-length-9 convolutional code."""
+    return ConvolutionalCode(UMTS_CONV_GENERATORS, UMTS_CONV_CONSTRAINT_LENGTH)

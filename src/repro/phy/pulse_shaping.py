@@ -1,0 +1,125 @@
+"""Root-raised-cosine (RRC) pulse shaping.
+
+The spread chip stream "modulates a root-raised cosine pulse-train" before
+transmission (paper Section 2.1).  HSPA uses a roll-off of 0.22.  A matched
+RRC filter at the receiver recovers (approximately) inter-chip-interference
+free samples over an ideal channel; over a multipath channel the cascade of
+pulse shaping and the physical taps forms the effective channel the equalizer
+has to invert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ensure_in_range, ensure_positive_int
+
+
+def rrc_taps(span_symbols: int, samples_per_symbol: int, roll_off: float = 0.22) -> np.ndarray:
+    """Impulse response of a root-raised-cosine filter.
+
+    Parameters
+    ----------
+    span_symbols:
+        Filter length in symbol (chip) periods; the filter has
+        ``span_symbols * samples_per_symbol + 1`` taps.
+    samples_per_symbol:
+        Oversampling factor.
+    roll_off:
+        Excess-bandwidth factor beta in (0, 1]; 0.22 for UMTS/HSPA.
+
+    Returns
+    -------
+    numpy.ndarray
+        Unit-energy filter taps.
+    """
+    span_symbols = ensure_positive_int(span_symbols, "span_symbols")
+    sps = ensure_positive_int(samples_per_symbol, "samples_per_symbol")
+    beta = ensure_in_range(roll_off, "roll_off", 0.0, 1.0, inclusive=False) \
+        if roll_off != 1.0 else 1.0
+
+    n_taps = span_symbols * sps + 1
+    t = (np.arange(n_taps) - (n_taps - 1) / 2.0) / sps
+    taps = np.empty(n_taps, dtype=np.float64)
+    for i, ti in enumerate(t):
+        if abs(ti) < 1e-12:
+            taps[i] = 1.0 - beta + 4.0 * beta / np.pi
+        elif abs(abs(ti) - 1.0 / (4.0 * beta)) < 1e-12:
+            taps[i] = (beta / np.sqrt(2.0)) * (
+                (1.0 + 2.0 / np.pi) * np.sin(np.pi / (4.0 * beta))
+                + (1.0 - 2.0 / np.pi) * np.cos(np.pi / (4.0 * beta))
+            )
+        else:
+            numerator = np.sin(np.pi * ti * (1.0 - beta)) + 4.0 * beta * ti * np.cos(
+                np.pi * ti * (1.0 + beta)
+            )
+            denominator = np.pi * ti * (1.0 - (4.0 * beta * ti) ** 2)
+            taps[i] = numerator / denominator
+    return taps / np.sqrt(np.sum(taps**2))
+
+
+@dataclass(frozen=True)
+class PulseShaper:
+    """Transmit RRC shaping and receive matched filtering.
+
+    Parameters
+    ----------
+    samples_per_symbol:
+        Oversampling factor applied to the chip stream.
+    roll_off:
+        RRC roll-off factor (0.22 for HSPA).
+    span_symbols:
+        Filter span in chips.
+    """
+
+    samples_per_symbol: int = 4
+    roll_off: float = 0.22
+    span_symbols: int = 8
+
+    @property
+    def taps(self) -> np.ndarray:
+        """Unit-energy RRC taps for this configuration."""
+        return rrc_taps(self.span_symbols, self.samples_per_symbol, self.roll_off)
+
+    @property
+    def delay_samples(self) -> int:
+        """Group delay of one filter in samples."""
+        return (self.taps.size - 1) // 2
+
+    def shape(self, chips: np.ndarray) -> np.ndarray:
+        """Upsample the chip stream and apply the transmit RRC filter."""
+        chip_arr = np.asarray(chips, dtype=np.complex128).reshape(-1)
+        upsampled = np.zeros(chip_arr.size * self.samples_per_symbol, dtype=np.complex128)
+        upsampled[:: self.samples_per_symbol] = chip_arr
+        return np.convolve(upsampled, self.taps)
+
+    def matched_filter(self, samples: np.ndarray, num_chips: int) -> np.ndarray:
+        """Apply the receive matched filter and downsample to chip rate.
+
+        Parameters
+        ----------
+        samples:
+            Received oversampled waveform (output of :meth:`shape` plus
+            channel/noise).
+        num_chips:
+            Number of chips to recover.
+        """
+        received = np.asarray(samples, dtype=np.complex128).reshape(-1)
+        filtered = np.convolve(received, self.taps)
+        # Total delay of the Tx+Rx filter cascade.
+        total_delay = 2 * self.delay_samples
+        indices = total_delay + np.arange(num_chips) * self.samples_per_symbol
+        if indices[-1] >= filtered.size:
+            raise ValueError("received waveform too short for the requested chip count")
+        return filtered[indices]
+
+    def end_to_end_response(self) -> np.ndarray:
+        """Combined Tx+Rx raised-cosine response sampled at chip rate."""
+        cascade = np.convolve(self.taps, self.taps)
+        center = (cascade.size - 1) // 2
+        offsets = np.arange(-self.span_symbols, self.span_symbols + 1) * self.samples_per_symbol
+        indices = center + offsets
+        valid = (indices >= 0) & (indices < cascade.size)
+        return cascade[indices[valid]]

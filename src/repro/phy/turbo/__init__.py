@@ -1,0 +1,26 @@
+"""3GPP-style parallel-concatenated convolutional (turbo) code.
+
+The HSDPA transport channel uses the UMTS rate-1/3 turbo code built from two
+8-state recursive systematic convolutional (RSC) encoders with generator
+polynomials (13, 15) in octal, separated by an internal interleaver.  The
+decoder iterates two soft-in/soft-out max-log-MAP (BCJR) component decoders
+exchanging extrinsic information — the "sophisticated channel decoding
+algorithm" whose sensitivity to corrupted LLRs is at the heart of the paper.
+"""
+
+from repro.phy.turbo.trellis import RscTrellis, UMTS_TRELLIS
+from repro.phy.turbo.interleaver import TurboInterleaver, make_turbo_interleaver
+from repro.phy.turbo.encoder import TurboEncoder
+from repro.phy.turbo.decoder import TurboDecoder, TurboDecoderResult
+from repro.phy.turbo.code import TurboCode
+
+__all__ = [
+    "RscTrellis",
+    "TurboCode",
+    "TurboDecoder",
+    "TurboDecoderResult",
+    "TurboEncoder",
+    "TurboInterleaver",
+    "UMTS_TRELLIS",
+    "make_turbo_interleaver",
+]

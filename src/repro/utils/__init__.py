@@ -1,0 +1,18 @@
+"""Small shared utilities: RNG handling and argument validation helpers."""
+
+from repro.utils.rng import as_rng, child_rngs
+from repro.utils.validation import (
+    ensure_bit_array,
+    ensure_in_range,
+    ensure_positive_int,
+    ensure_probability,
+)
+
+__all__ = [
+    "as_rng",
+    "child_rngs",
+    "ensure_bit_array",
+    "ensure_in_range",
+    "ensure_positive_int",
+    "ensure_probability",
+]

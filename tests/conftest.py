@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, str(_SRC))
+
+from repro.link import LinkConfig  # noqa: E402  (path setup must come first)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_config() -> LinkConfig:
+    """A very small link configuration keeping end-to-end tests fast."""
+    return LinkConfig(
+        payload_bits=56,
+        crc_bits=16,
+        modulation="16QAM",
+        effective_code_rate=0.6,
+        turbo_iterations=3,
+        max_transmissions=3,
+    )
+
+
+@pytest.fixture
+def tiny_64qam_config() -> LinkConfig:
+    """A small 64QAM configuration (the paper's modulation mode)."""
+    return LinkConfig(
+        payload_bits=104,
+        crc_bits=16,
+        modulation="64QAM",
+        effective_code_rate=0.7,
+        turbo_iterations=3,
+        max_transmissions=4,
+    )

@@ -1,0 +1,276 @@
+"""Tests for the core fault-simulation framework and its analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BitSensitivityAnalysis,
+    BitWidthAnalysis,
+    EccProtection,
+    FullCellProtection,
+    MsbProtection,
+    NoProtection,
+    ProtectionEfficiencyAnalysis,
+    ResilienceAnalysis,
+    SweepTable,
+    SystemLevelFaultSimulator,
+)
+from repro.core.montecarlo import (
+    mean_confidence_interval,
+    proportion_confidence_interval,
+    required_packets_for_bler,
+)
+from repro.core.voltage import VoltageScalingAnalysis, compare_protection_power
+from repro.link import LinkConfig
+
+
+class TestProtectionSchemes:
+    def test_no_protection_properties(self):
+        scheme = NoProtection(bits_per_word=10)
+        assert scheme.area_overhead() == 0.0
+        assert not scheme.protected_columns().any()
+        assert scheme.unprotected_cells(100) == 1000
+
+    def test_msb_protection_properties(self):
+        scheme = MsbProtection(bits_per_word=10, protected_msbs=4)
+        assert scheme.protected_columns()[:4].all()
+        assert not scheme.protected_columns()[4:].any()
+        assert scheme.unprotected_cells(100) == 600
+        assert 0.10 <= scheme.area_overhead() <= 0.14
+
+    def test_full_protection_properties(self):
+        scheme = FullCellProtection(bits_per_word=10)
+        assert scheme.protected_columns().all()
+        assert scheme.unprotected_cells(100) == 0
+        assert scheme.area_overhead() == pytest.approx(0.30, abs=0.01)
+
+    def test_ecc_protection_properties(self):
+        scheme = EccProtection(bits_per_word=10)
+        assert scheme.stored_bits_per_word == 14
+        assert scheme.area_overhead() >= 0.35
+        assert scheme.ecc is not None
+
+    def test_fault_map_respects_protection(self, rng):
+        scheme = MsbProtection(bits_per_word=10, protected_msbs=3)
+        fault_map = scheme.make_fault_map(200, 150, rng)
+        assert fault_map.num_faults == 150
+        assert fault_map.faults_per_column()[:3].sum() == 0
+
+    def test_column_failure_probabilities_ordering(self):
+        scheme = MsbProtection(bits_per_word=10, protected_msbs=4)
+        probabilities = scheme.column_failure_probabilities(0.7)
+        assert probabilities[:4].max() < probabilities[4:].min()
+
+    def test_fault_map_at_voltage(self, rng):
+        scheme = NoProtection(bits_per_word=10)
+        fault_map = scheme.make_fault_map_at_voltage(500, 0.6, rng)
+        # At 0.6 V the 6T Pcell is ~0.1, so a 5000-cell array has many faults.
+        assert fault_map.num_faults > 100
+
+    def test_relative_power_orderings(self):
+        unprotected = NoProtection(bits_per_word=10)
+        protected = MsbProtection(bits_per_word=10, protected_msbs=4)
+        assert protected.relative_power(1.0) > unprotected.relative_power(1.0)
+        assert unprotected.relative_power(0.7) < unprotected.relative_power(1.0)
+
+    def test_protected_msbs_bounds(self):
+        with pytest.raises(ValueError):
+            MsbProtection(bits_per_word=10, protected_msbs=11)
+
+
+class TestSweepTable:
+    def test_add_and_column(self):
+        table = SweepTable("t", ["a", "b"])
+        table.add_row(a=1, b=2.0)
+        assert table.column("a") == [1]
+        assert len(table) == 1
+
+    def test_unknown_column_rejected(self):
+        table = SweepTable("t", ["a"])
+        with pytest.raises(KeyError):
+            table.add_row(c=1)
+        with pytest.raises(KeyError):
+            table.column("z")
+
+    def test_markdown_and_csv(self):
+        table = SweepTable("title", ["x", "y"])
+        table.add_row(x=1, y=0.5)
+        markdown = table.to_markdown()
+        assert "title" in markdown and "| x | y |" in markdown
+        assert "x,y" in table.to_csv()
+
+
+class TestMonteCarlo:
+    def test_mean_confidence_interval(self):
+        estimate = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert estimate.value == pytest.approx(2.5)
+        assert estimate.lower < 2.5 < estimate.upper
+
+    def test_single_sample_interval_is_infinite(self):
+        assert mean_confidence_interval([1.0]).half_width == float("inf")
+
+    def test_proportion_interval(self):
+        estimate = proportion_confidence_interval(5, 100)
+        assert 0.0 < estimate.lower < 0.05 < estimate.upper < 0.2
+
+    def test_required_packets(self):
+        assert required_packets_for_bler(0.1) > required_packets_for_bler(0.5)
+        with pytest.raises(ValueError):
+            required_packets_for_bler(0.0)
+
+
+class TestSystemLevelFaultSimulator:
+    @pytest.fixture
+    def simulator(self, tiny_64qam_config):
+        return SystemLevelFaultSimulator(
+            tiny_64qam_config,
+            NoProtection(bits_per_word=tiny_64qam_config.llr_bits),
+            num_fault_maps=2,
+        )
+
+    def test_cell_accounting(self, simulator, tiny_64qam_config):
+        assert simulator.total_cells == tiny_64qam_config.llr_storage_cells
+        assert simulator.fallible_cells == simulator.total_cells
+        assert simulator.faults_for_defect_rate(0.1) == pytest.approx(
+            0.1 * simulator.fallible_cells, abs=1
+        )
+
+    def test_word_width_mismatch_rejected(self, tiny_64qam_config):
+        with pytest.raises(ValueError):
+            SystemLevelFaultSimulator(tiny_64qam_config, NoProtection(bits_per_word=12))
+
+    def test_defect_free_point(self, simulator):
+        point = simulator.evaluate(28.0, 0, num_packets=6, rng=0)
+        assert point.num_faults == 0
+        assert point.normalized_throughput > 0.5
+        assert point.block_error_rate == 0.0
+
+    def test_heavy_defects_degrade(self, simulator):
+        clean = simulator.evaluate_defect_rate(18.0, 0.0, num_packets=8, rng=1)
+        dirty = simulator.evaluate_defect_rate(18.0, 0.10, num_packets=8, rng=1)
+        assert dirty.average_transmissions >= clean.average_transmissions - 1e-9
+
+    def test_msb_protection_recovers_throughput(self, tiny_64qam_config):
+        unprotected = SystemLevelFaultSimulator(
+            tiny_64qam_config, NoProtection(bits_per_word=10), num_fault_maps=2
+        )
+        protected = SystemLevelFaultSimulator(
+            tiny_64qam_config, MsbProtection(bits_per_word=10, protected_msbs=4), num_fault_maps=2
+        )
+        dirty = unprotected.evaluate_defect_rate(24.0, 0.10, num_packets=8, rng=2)
+        fixed = protected.evaluate_defect_rate(24.0, 0.10, num_packets=8, rng=2)
+        assert fixed.normalized_throughput >= dirty.normalized_throughput
+
+    def test_yield_for_acceptance(self, simulator):
+        strict = simulator.yield_for_acceptance(1e-4, 0)
+        relaxed = simulator.yield_for_acceptance(1e-4, simulator.faults_for_defect_rate(0.01))
+        assert relaxed > strict
+
+    def test_sweeps_and_table(self, simulator):
+        table = simulator.throughput_table([24.0], [0.0, 0.10], num_packets=4, rng=3)
+        assert len(table) == 2
+        assert set(table.columns) >= {"defect_rate", "snr_db", "throughput"}
+
+    def test_reproducible(self, simulator):
+        a = simulator.evaluate_defect_rate(20.0, 0.05, num_packets=4, rng=11)
+        b = simulator.evaluate_defect_rate(20.0, 0.05, num_packets=4, rng=11)
+        assert a.normalized_throughput == b.normalized_throughput
+
+
+class TestAnalyses:
+    def test_sensitivity_analytical_ranking(self):
+        config = LinkConfig(payload_bits=56, crc_bits=16)
+        analysis = BitSensitivityAnalysis(config.quantizer)
+        sensitivities = analysis.analytical_perturbations()
+        perturbations = [s.worst_llr_perturbation for s in sensitivities]
+        # Monotonically decreasing significance from MSB (sign) to LSB.
+        assert all(a >= b for a, b in zip(perturbations, perturbations[1:]))
+        assert perturbations[0] == pytest.approx(2 * config.llr_max_abs, rel=0.05)
+
+    def test_sensitivity_recommendation_small(self):
+        analysis = BitSensitivityAnalysis(LinkConfig().quantizer)
+        assert 2 <= analysis.recommended_protection_depth() <= 5
+
+    def test_sensitivity_simulation(self, tiny_64qam_config):
+        simulator = SystemLevelFaultSimulator(
+            tiny_64qam_config, NoProtection(bits_per_word=10), num_fault_maps=1
+        )
+        analysis = BitSensitivityAnalysis(tiny_64qam_config.quantizer)
+        results = analysis.simulated_sensitivity(
+            simulator, 26.0, faults_per_position=60, num_packets=4, rng=1, bit_positions=[0, 9]
+        )
+        table = analysis.to_table(results, "sensitivity")
+        assert len(table) == 2
+        sign, lsb = results[0], results[1]
+        # Corrupting the sign bit hurts at least as much as corrupting the LSB.
+        assert sign.throughput <= lsb.throughput + 0.15
+
+    def test_resilience_analysis(self, tiny_64qam_config):
+        simulator = SystemLevelFaultSimulator(
+            tiny_64qam_config, NoProtection(bits_per_word=10), num_fault_maps=1
+        )
+        analysis = ResilienceAnalysis(simulator)
+        table = analysis.sweep_table(26.0, [0.0, 0.10], num_packets=4, rng=5)
+        assert len(table) == 2
+        limit = analysis.find_limit(26.0, [0.0, 0.001], 0.1, num_packets=4, rng=5)
+        assert limit.max_defect_rate >= 0.0
+        assert 0.4 <= limit.min_supply_voltage <= 1.2
+        improvement = analysis.yield_improvement(1e-4, 0.01)
+        assert improvement["yield_accepting_defects"] >= improvement["yield_zero_defects"]
+
+    def test_efficiency_analysis(self, tiny_64qam_config):
+        analysis = ProtectionEfficiencyAnalysis(tiny_64qam_config, num_fault_maps=1)
+        points = analysis.sweep(24.0, 0.10, [2, 4], num_packets=4, rng=6)
+        assert [p.protected_bits for p in points] == [2, 4]
+        assert points[1].area_overhead > points[0].area_overhead
+        assert analysis.optimum_protection_depth(points) in (2, 4)
+        comparison = analysis.ecc_comparison()
+        assert comparison["msb4_overhead"] < comparison["ecc_overhead"]
+
+    def test_bitwidth_analysis(self, tiny_64qam_config):
+        analysis = BitWidthAnalysis(tiny_64qam_config, num_fault_maps=1)
+        points = analysis.sweep([10, 12], [26.0], 0.10, num_packets=4, rng=7)
+        cells = {p.llr_bits: p.storage_cells for p in points}
+        faults = {p.llr_bits: p.num_faults for p in points}
+        assert cells[12] > cells[10]
+        assert faults[12] >= faults[10]
+        best = analysis.best_width_per_snr(points)
+        assert set(best) == {26.0}
+
+
+class TestVoltageScaling:
+    def test_operating_point_fields(self):
+        analysis = VoltageScalingAnalysis(1000, NoProtection(bits_per_word=10))
+        point = analysis.operating_point(0.8)
+        assert point.vdd == 0.8
+        assert point.cell_failure_probability > 0
+        assert point.defects_for_yield >= 0
+        assert 0 < point.relative_power < 1.0
+
+    def test_lower_voltage_needs_more_accepted_defects(self):
+        analysis = VoltageScalingAnalysis(5000, NoProtection(bits_per_word=10))
+        high = analysis.operating_point(0.9)
+        low = analysis.operating_point(0.7)
+        assert low.defects_for_yield >= high.defects_for_yield
+        assert low.relative_power < high.relative_power
+
+    def test_min_voltage_for_budget_monotone(self):
+        analysis = VoltageScalingAnalysis(5000, NoProtection(bits_per_word=10))
+        generous = analysis.min_voltage_for_defect_budget(0.10)
+        strict = analysis.min_voltage_for_defect_budget(0.0001)
+        assert generous.vdd <= strict.vdd
+
+    def test_protection_enables_lower_voltage(self):
+        comparison = compare_protection_power(2000, 0.001, 0.10)
+        assert comparison["protected_min_vdd"] < comparison["unprotected_min_vdd"]
+        assert comparison["protected_power_saving"] > comparison["unprotected_power_saving"]
+
+    def test_sweep_table(self):
+        analysis = VoltageScalingAnalysis(1000, MsbProtection(bits_per_word=10, protected_msbs=4))
+        table = analysis.sweep_table([1.0, 0.8, 0.6])
+        assert len(table) == 3
+        assert table.column("relative_power")[0] > table.column("relative_power")[-1]
+
+    def test_power_saving_positive_below_nominal(self):
+        analysis = VoltageScalingAnalysis(1000, NoProtection(bits_per_word=10))
+        assert analysis.power_saving_versus_nominal(0.8) > 0.0

@@ -1,0 +1,141 @@
+"""Tests for the experiment drivers (figure regeneration) and scale presets."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SCALES, get_scale
+from repro.experiments import (
+    fig2_bler_vs_harq,
+    fig3_cell_failure,
+    fig5_yield,
+    fig6_throughput_vs_defects,
+    fig7_msb_protection,
+    fig8_efficiency,
+    fig9_bitwidth,
+    power_savings,
+)
+from repro.experiments.scales import Scale
+
+
+class TestScales:
+    def test_builtin_scales_present(self):
+        assert {"smoke", "default", "paper"} <= set(SCALES)
+
+    def test_get_scale_by_name_and_object(self):
+        smoke = get_scale("smoke")
+        assert isinstance(smoke, Scale)
+        assert get_scale(smoke) is smoke
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_scales_order_by_effort(self):
+        assert SCALES["smoke"].num_packets < SCALES["default"].num_packets <= SCALES["paper"].num_packets
+
+    def test_link_config_override(self):
+        config = SCALES["smoke"].link_config(llr_bits=11)
+        assert config.llr_bits == 11
+        assert config.payload_bits == SCALES["smoke"].payload_bits
+
+    def test_with_updates(self):
+        tweaked = SCALES["smoke"].with_updates(num_packets=3)
+        assert tweaked.num_packets == 3
+        assert SCALES["smoke"].num_packets != 3
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    """An even smaller scale than 'smoke' so every driver runs in seconds."""
+    return SCALES["smoke"].with_updates(
+        payload_bits=56,
+        num_packets=4,
+        num_fault_maps=1,
+        turbo_iterations=3,
+        snr_points_db=(16.0, 26.0),
+        defect_rates=(0.0, 0.10),
+    )
+
+
+class TestFig2(object):
+    def test_rows_and_monotonicity(self, micro_scale):
+        table = fig2_bler_vs_harq.run(micro_scale, seed=1, snr_regimes_db=(10.0, 26.0))
+        assert len(table) >= 2
+        by_snr = {}
+        for row in table.rows:
+            by_snr.setdefault(row["snr_db"], []).append(row["failure_probability"])
+        for probabilities in by_snr.values():
+            assert all(b <= a + 1e-9 for a, b in zip(probabilities, probabilities[1:]))
+
+
+class TestFig3:
+    def test_orderings(self):
+        table = fig3_cell_failure.run()
+        for row in table.rows:
+            assert row["p_8t"] <= row["p_6t"]
+            assert 0.0 <= row["p_6t"] <= 1.0
+
+    def test_custom_voltages(self):
+        table = fig3_cell_failure.run(voltages=(0.7, 0.9))
+        assert [row["vdd"] for row in table.rows] == [0.7, 0.9]
+
+
+class TestFig5:
+    def test_tables_present(self):
+        output = fig5_yield.run()
+        assert set(output) == {"curves", "targets"}
+        assert len(output["targets"]) == len(fig5_yield.DEFAULT_PCELLS)
+
+    def test_targets_monotone_in_pcell(self):
+        targets = fig5_yield.run()["targets"]
+        rows = sorted(targets.rows, key=lambda r: r["pcell"])
+        needed = [r["defects_for_target"] for r in rows]
+        assert all(b >= a for a, b in zip(needed, needed[1:]))
+
+
+class TestFig6:
+    def test_table_shape_and_requirement_check(self, micro_scale):
+        table = fig6_throughput_vs_defects.run(micro_scale, seed=3)
+        assert len(table) == len(micro_scale.snr_points_db) * len(micro_scale.defect_rates)
+        check = fig6_throughput_vs_defects.throughput_requirement_check(table, requirement=0.0)
+        assert len(check) == len(micro_scale.defect_rates)
+
+
+class TestFig7:
+    def test_protection_series_present(self, micro_scale):
+        table = fig7_msb_protection.run(
+            micro_scale, seed=4, defect_rate=0.10, protected_bit_counts=(0, 4)
+        )
+        protected_values = sorted(set(row["protected_bits"] for row in table.rows))
+        assert protected_values == [0, 4]
+
+
+class TestFig8:
+    def test_outputs(self, micro_scale):
+        output = fig8_efficiency.run(
+            micro_scale, seed=5, snr_db=20.0, protected_bit_counts=(2, 4, 10)
+        )
+        assert set(output) == {"table", "optimum_bits", "ecc"}
+        overheads = output["table"].column("area_overhead")
+        assert overheads == sorted(overheads)
+        assert output["ecc"]["ecc_overhead"] > output["ecc"]["msb4_overhead"]
+
+
+class TestFig9:
+    def test_storage_grows_with_width(self, micro_scale):
+        output = fig9_bitwidth.run(
+            micro_scale, seed=6, llr_widths=(10, 12), snr_points_db=(26.0,)
+        )
+        cells = {row["llr_bits"]: row["storage_cells"] for row in output["table"].rows}
+        assert cells[12] > cells[10]
+
+
+class TestPowerSavings:
+    def test_table_contents(self):
+        table = power_savings.run()
+        schemes = table.column("scheme")
+        assert "unprotected-6T" in schemes
+        assert any(s.startswith("msb-") for s in schemes)
+        rows = {row["scheme"]: row for row in table.rows}
+        protected = next(v for k, v in rows.items() if k.startswith("msb-"))
+        assert protected["min_vdd"] < rows["unprotected-6T"]["min_vdd"]

@@ -1,0 +1,200 @@
+"""Tests for bit utilities, CRC codes and the LLR quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.bits import (
+    bit_error_rate,
+    bits_to_int,
+    bits_to_symbols_matrix,
+    gray_code,
+    gray_to_binary,
+    hamming_distance,
+    int_to_bits,
+    pack_bits,
+    random_bits,
+    unpack_bits,
+)
+from repro.phy.crc import CRC_8, CRC_16, CRC_24A, Crc
+from repro.phy.quantization import LlrQuantizer
+
+
+class TestBits:
+    def test_random_bits_are_binary(self, rng):
+        bits = random_bits(1000, rng)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_random_bits_reproducible(self):
+        assert np.array_equal(random_bits(64, 3), random_bits(64, 3))
+
+    @pytest.mark.parametrize("value,width", [(0, 1), (5, 3), (255, 8), (1023, 10)])
+    def test_int_bits_roundtrip(self, value, width):
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+    def test_int_to_bits_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+
+    def test_int_to_bits_lsb_first(self):
+        assert int_to_bits(4, 3, msb_first=False).tolist() == [0, 0, 1]
+
+    def test_pack_unpack_roundtrip(self, rng):
+        bits = random_bits(120, rng)
+        assert np.array_equal(unpack_bits(pack_bits(bits, 10), 10), bits)
+
+    def test_pack_bits_wrong_length(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros(7, dtype=np.int8), 4)
+
+    def test_symbols_matrix_pads(self):
+        matrix = bits_to_symbols_matrix(np.ones(5, dtype=np.int8), 4)
+        assert matrix.shape == (2, 4)
+        assert matrix[1, -1] == 0
+
+    def test_hamming_distance(self):
+        assert hamming_distance([0, 1, 1], [1, 1, 0]) == 2
+
+    def test_hamming_distance_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance([0, 1], [0, 1, 1])
+
+    def test_bit_error_rate(self):
+        assert bit_error_rate([0, 0, 0, 0], [1, 0, 0, 1]) == 0.5
+
+    def test_gray_code_adjacent_differ_by_one_bit(self):
+        code = gray_code(4)
+        for a, b in zip(code, code[1:]):
+            assert bin(int(a) ^ int(b)).count("1") == 1
+
+    def test_gray_roundtrip(self):
+        values = np.arange(16)
+        assert np.array_equal(gray_to_binary(values ^ (values >> 1), 4), values)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_int_bits_roundtrip_property(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+
+class TestCrc:
+    @pytest.mark.parametrize("crc", [CRC_8, CRC_16, CRC_24A])
+    def test_attach_check_roundtrip(self, crc, rng):
+        data = random_bits(100, rng)
+        assert crc.check(crc.attach(data))
+
+    @pytest.mark.parametrize("crc", [CRC_8, CRC_16, CRC_24A])
+    def test_single_bit_error_detected(self, crc, rng):
+        codeword = crc.attach(random_bits(64, rng))
+        for position in [0, codeword.size // 2, codeword.size - 1]:
+            corrupted = codeword.copy()
+            corrupted[position] ^= 1
+            assert not crc.check(corrupted)
+
+    def test_burst_error_detected(self, rng):
+        codeword = CRC_16.attach(random_bits(200, rng))
+        corrupted = codeword.copy()
+        corrupted[10:14] ^= 1
+        assert not CRC_16.check(corrupted)
+
+    def test_num_check_bits(self):
+        assert CRC_24A.num_check_bits == 24
+        assert CRC_16.num_check_bits == 16
+        assert CRC_8.num_check_bits == 8
+
+    def test_strip_recovers_payload(self, rng):
+        data = random_bits(50, rng)
+        assert np.array_equal(CRC_8.strip(CRC_8.attach(data)), data)
+
+    def test_invalid_polynomial_rejected(self):
+        with pytest.raises(ValueError):
+            Crc((0, 1, 1))
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_random_flip_detected_property(self, bits):
+        codeword = CRC_16.attach(np.array(bits, dtype=np.int8))
+        corrupted = codeword.copy()
+        corrupted[len(bits) // 2] ^= 1
+        assert not CRC_16.check(corrupted)
+
+
+class TestLlrQuantizer:
+    def test_roundtrip_within_step(self):
+        quantizer = LlrQuantizer(num_bits=10, max_abs=32.0)
+        llrs = np.linspace(-30, 30, 257)
+        error = np.abs(quantizer.quantize(llrs) - llrs)
+        assert error.max() <= quantizer.step / 2 + 1e-12
+
+    def test_saturation(self):
+        quantizer = LlrQuantizer(num_bits=8, max_abs=8.0)
+        assert quantizer.quantize(np.array([100.0]))[0] == pytest.approx(8.0)
+        assert quantizer.quantize(np.array([-100.0]))[0] == pytest.approx(-8.0)
+
+    def test_sign_preserved(self, rng):
+        quantizer = LlrQuantizer(num_bits=10)
+        llrs = rng.normal(0, 10, 500)
+        quantized = quantizer.quantize(llrs)
+        big = np.abs(llrs) > quantizer.step
+        assert np.all(np.sign(quantized[big]) == np.sign(llrs[big]))
+
+    @pytest.mark.parametrize("word_format", ["sign-magnitude", "twos-complement"])
+    def test_word_roundtrip(self, word_format, rng):
+        quantizer = LlrQuantizer(num_bits=10, word_format=word_format)
+        llrs = rng.normal(0, 10, 300)
+        words = quantizer.llrs_to_words(llrs)
+        assert words.min() >= 0 and words.max() < 2**10
+        assert np.allclose(quantizer.words_to_llrs(words), quantizer.quantize(llrs))
+
+    @pytest.mark.parametrize("word_format", ["sign-magnitude", "twos-complement"])
+    def test_bit_matrix_roundtrip(self, word_format, rng):
+        quantizer = LlrQuantizer(num_bits=9, word_format=word_format)
+        words = quantizer.llrs_to_words(rng.normal(0, 5, 100))
+        bits = quantizer.words_to_bits(words)
+        assert bits.shape == (100, 9)
+        assert np.array_equal(quantizer.bits_to_words(bits), words)
+
+    def test_msb_is_sign_for_sign_magnitude(self):
+        quantizer = LlrQuantizer(num_bits=6, word_format="sign-magnitude")
+        words = quantizer.llrs_to_words(np.array([-3.0, 3.0]))
+        bits = quantizer.words_to_bits(words)
+        assert bits[0, 0] == 1  # negative -> sign bit set
+        assert bits[1, 0] == 0
+
+    def test_sign_bit_flip_changes_llr_sign(self):
+        quantizer = LlrQuantizer(num_bits=10)
+        words = quantizer.llrs_to_words(np.array([20.0]))
+        bits = quantizer.words_to_bits(words)
+        bits[0, 0] ^= 1
+        flipped = quantizer.words_to_llrs(quantizer.bits_to_words(bits))
+        assert flipped[0] == pytest.approx(-quantizer.quantize(np.array([20.0]))[0])
+
+    def test_monotonicity(self):
+        quantizer = LlrQuantizer(num_bits=8, max_abs=16.0)
+        llrs = np.linspace(-16, 16, 101)
+        quantized = quantizer.quantize(llrs)
+        assert np.all(np.diff(quantized) >= -1e-12)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            LlrQuantizer(num_bits=1)
+        with pytest.raises(ValueError):
+            LlrQuantizer(max_abs=0.0)
+        with pytest.raises(ValueError):
+            LlrQuantizer(word_format="bogus")
+
+    def test_quantization_noise_power(self):
+        quantizer = LlrQuantizer(num_bits=10, max_abs=32.0)
+        assert quantizer.quantization_noise_power() == pytest.approx(
+            quantizer.step**2 / 12.0
+        )
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_word_roundtrip_property(self, llr):
+        quantizer = LlrQuantizer(num_bits=10, max_abs=32.0)
+        words = quantizer.llrs_to_words(np.array([llr]))
+        recovered = quantizer.words_to_llrs(words)[0]
+        clipped = np.clip(llr, -32.0, 32.0)
+        assert abs(recovered - clipped) <= quantizer.step / 2 + 1e-9

@@ -1,0 +1,175 @@
+"""Tests for QAM modulation/demapping, OVSF spreading and RRC pulse shaping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.bits import random_bits
+from repro.phy.modulation import MODULATIONS, Modulator, get_modulator
+from repro.phy.pulse_shaping import PulseShaper, rrc_taps
+from repro.phy.spreading import Spreader, cross_correlation, ovsf_code, ovsf_code_tree
+
+
+class TestModulation:
+    @pytest.mark.parametrize("name", ["QPSK", "16QAM", "64QAM"])
+    def test_unit_average_energy(self, name):
+        assert get_modulator(name).average_symbol_energy() == pytest.approx(1.0, rel=1e-9)
+
+    @pytest.mark.parametrize("name", ["QPSK", "16QAM", "64QAM"])
+    def test_noiseless_roundtrip(self, name, rng):
+        modulator = get_modulator(name)
+        bits = random_bits(modulator.bits_per_symbol * 200, rng)
+        symbols = modulator.modulate(bits)
+        hard = modulator.demodulate_hard(symbols)
+        assert np.array_equal(hard[: bits.size], bits)
+
+    @pytest.mark.parametrize("name", ["QPSK", "16QAM", "64QAM"])
+    def test_soft_llr_signs_match_bits_noiseless(self, name, rng):
+        modulator = get_modulator(name)
+        bits = random_bits(modulator.bits_per_symbol * 100, rng)
+        llrs = modulator.demodulate_soft(modulator.modulate(bits), noise_variance=0.1)
+        assert np.array_equal((llrs < 0).astype(np.int8)[: bits.size], bits)
+
+    def test_constellation_size(self):
+        assert get_modulator("64QAM").constellation().size == 64
+
+    def test_constellation_gray_property(self):
+        modulator = get_modulator("16QAM")
+        points = modulator.constellation()
+        # Nearest neighbours in the constellation differ in exactly one bit.
+        min_distance = np.min(
+            [
+                np.abs(points[i] - points[j])
+                for i in range(16)
+                for j in range(16)
+                if i != j
+            ]
+        )
+        for i in range(16):
+            for j in range(16):
+                if i != j and np.abs(points[i] - points[j]) < min_distance * 1.01:
+                    assert bin(i ^ j).count("1") == 1
+
+    def test_llr_magnitude_scales_with_noise(self, rng):
+        modulator = get_modulator("16QAM")
+        bits = random_bits(400, rng)
+        symbols = modulator.modulate(bits)
+        quiet = np.mean(np.abs(modulator.demodulate_soft(symbols, 0.01)))
+        loud = np.mean(np.abs(modulator.demodulate_soft(symbols, 1.0)))
+        assert quiet > loud
+
+    def test_awgn_ber_decreases_with_snr(self, rng):
+        modulator = get_modulator("16QAM")
+        bits = random_bits(4 * 3000, rng)
+        symbols = modulator.modulate(bits)
+        bers = []
+        for snr_db in (5.0, 15.0):
+            n0 = 10 ** (-snr_db / 10)
+            noisy = symbols + (
+                rng.normal(0, np.sqrt(n0 / 2), symbols.shape)
+                + 1j * rng.normal(0, np.sqrt(n0 / 2), symbols.shape)
+            )
+            hard = (modulator.demodulate_soft(noisy, n0) < 0).astype(np.int8)
+            bers.append(np.mean(hard[: bits.size] != bits))
+        assert bers[1] < bers[0]
+
+    def test_odd_bits_per_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            Modulator(3)
+
+    def test_unknown_modulation_rejected(self):
+        with pytest.raises(ValueError):
+            get_modulator("256QAM")
+
+    def test_registry_names(self):
+        assert set(MODULATIONS) == {"QPSK", "16QAM", "64QAM"}
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_single_symbol_roundtrip_property(self, pattern):
+        modulator = get_modulator("64QAM")
+        bits = np.array([(pattern >> (11 - i)) & 1 for i in range(12)], dtype=np.int8)
+        hard = modulator.demodulate_hard(modulator.modulate(bits))
+        assert np.array_equal(hard[:12], bits)
+
+
+class TestSpreading:
+    def test_ovsf_codes_are_orthogonal(self):
+        tree = ovsf_code_tree(16)
+        gram = tree @ tree.T / 16
+        assert np.allclose(gram, np.eye(16), atol=1e-12)
+
+    @pytest.mark.parametrize("sf", [2, 4, 8, 16, 32])
+    def test_ovsf_code_values(self, sf):
+        for index in (0, sf // 2, sf - 1):
+            code = ovsf_code(sf, index)
+            assert code.size == sf
+            assert set(np.unique(code)).issubset({-1.0, 1.0})
+
+    def test_ovsf_matches_tree(self):
+        tree = ovsf_code_tree(8)
+        for index in range(8):
+            assert np.array_equal(ovsf_code(8, index), tree[index])
+
+    def test_ovsf_invalid_sf(self):
+        with pytest.raises(ValueError):
+            ovsf_code(12, 0)
+
+    def test_spread_despread_roundtrip(self, rng):
+        spreader = Spreader(spreading_factor=8, code_index=3)
+        symbols = rng.normal(size=64) + 1j * rng.normal(size=64)
+        recovered = spreader.despread(spreader.spread(symbols))
+        assert np.allclose(recovered, symbols, atol=1e-12)
+
+    def test_despread_rejects_partial_symbol(self):
+        spreader = Spreader(spreading_factor=4)
+        with pytest.raises(ValueError):
+            spreader.despread(np.zeros(6, dtype=complex))
+
+    def test_processing_gain(self):
+        assert Spreader(spreading_factor=16).processing_gain_db() == pytest.approx(12.04, abs=0.01)
+
+    def test_other_user_rejected(self, rng):
+        """A different OVSF code despreads to (near) zero — CDMA orthogonality."""
+        user_a = Spreader(spreading_factor=8, code_index=1)
+        user_b = Spreader(spreading_factor=8, code_index=5)
+        symbols = rng.normal(size=32) + 1j * rng.normal(size=32)
+        chips = user_a.spread(symbols)
+        leaked = user_b.despread(chips)
+        assert np.max(np.abs(leaked)) < 1e-10
+
+    def test_cross_correlation_identical_code(self):
+        code = ovsf_code(8, 2)
+        assert cross_correlation(code, code) == pytest.approx(1.0)
+
+
+class TestPulseShaping:
+    def test_rrc_taps_unit_energy(self):
+        taps = rrc_taps(8, 4, 0.22)
+        assert np.sum(taps**2) == pytest.approx(1.0, rel=1e-9)
+
+    def test_rrc_taps_symmetric(self):
+        taps = rrc_taps(6, 4, 0.22)
+        assert np.allclose(taps, taps[::-1], atol=1e-12)
+
+    def test_matched_filter_recovers_chips(self, rng):
+        shaper = PulseShaper(samples_per_symbol=4, span_symbols=10)
+        chips = (1 - 2 * rng.integers(0, 2, 128)) + 1j * (1 - 2 * rng.integers(0, 2, 128))
+        waveform = shaper.shape(chips)
+        recovered = shaper.matched_filter(waveform, chips.size)
+        # The cascade is only approximately ISI-free over a finite span.
+        correlation = np.abs(np.vdot(recovered, chips)) / (
+            np.linalg.norm(recovered) * np.linalg.norm(chips)
+        )
+        assert correlation > 0.98
+
+    def test_end_to_end_response_peak_at_center(self):
+        shaper = PulseShaper(samples_per_symbol=4, span_symbols=8)
+        response = shaper.end_to_end_response()
+        assert np.argmax(np.abs(response)) == response.size // 2
+
+    def test_matched_filter_too_short_raises(self):
+        shaper = PulseShaper()
+        with pytest.raises(ValueError):
+            shaper.matched_filter(np.zeros(10, dtype=complex), 100)
