@@ -1,0 +1,61 @@
+"""Benchmark: wall-clock speedup of the parallel runner at 4 workers.
+
+Runs a default-scale Fig. 6 workload (default-scale packet counts and
+payload on a reduced sweep grid) serially and with 4 worker processes, and
+asserts the parallel run is at least 2x faster.  Demonstrating a speedup
+needs real cores, so the benchmark skips on machines with fewer than 4 CPUs
+(set ``REPRO_FORCE_SPEEDUP=1`` to run — and still assert — regardless), and
+the CI workflow excludes it (shared CI vCPUs make the wall-clock ratio
+flaky); run it on a real >= 4-core machine.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import fig6_throughput_vs_defects
+from repro.experiments.scales import SCALES
+from repro.runner.parallel import ParallelRunner
+
+#: Reduced sweep grid: default-scale per-point cost, fewer points, so the
+#: benchmark finishes in minutes rather than hours.
+DEFECT_RATES = (0.0, 0.10)
+SNR_POINTS_DB = (9.0, 15.0, 21.0, 27.0)
+WORKERS = 4
+REQUIRED_SPEEDUP = 2.0
+
+
+def _run(workers: int):
+    started = time.perf_counter()
+    table = fig6_throughput_vs_defects.run(
+        SCALES["default"],
+        seed=2012,
+        defect_rates=DEFECT_RATES,
+        snr_points_db=SNR_POINTS_DB,
+        runner=ParallelRunner(workers=workers),
+    )
+    return table, time.perf_counter() - started
+
+
+def test_parallel_speedup_at_4_workers():
+    forced = os.environ.get("REPRO_FORCE_SPEEDUP") == "1"
+    cpus = os.cpu_count() or 1
+    if cpus < WORKERS and not forced:
+        pytest.skip(
+            f"needs >= {WORKERS} CPUs to demonstrate a {REQUIRED_SPEEDUP:.0f}x speedup "
+            f"(found {cpus}); set REPRO_FORCE_SPEEDUP=1 to run anyway"
+        )
+
+    serial_table, serial_seconds = _run(workers=1)
+    parallel_table, parallel_seconds = _run(workers=WORKERS)
+    speedup = serial_seconds / parallel_seconds
+
+    print()
+    print(f"serial:   {serial_seconds:8.2f} s")
+    print(f"4-worker: {parallel_seconds:8.2f} s")
+    print(f"speedup:  {speedup:8.2f}x")
+
+    # Correctness first: parallelism must never change the numbers.
+    assert serial_table.to_json() == parallel_table.to_json()
+    assert speedup >= REQUIRED_SPEEDUP

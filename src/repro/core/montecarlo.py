@@ -84,7 +84,15 @@ def proportion_confidence_interval(
     half_width = (
         z * sqrt(p_hat * (1 - p_hat) / trials + z**2 / (4 * trials**2)) / denominator
     )
-    return EstimateWithConfidence(centre, half_width, confidence, trials)
+    # The Wilson bounds lie inside [0, 1] in exact arithmetic, but the
+    # floating-point centre ± half-width can leak slightly outside (e.g. a
+    # marginally negative lower bound at successes=0).  Clamp the bounds and
+    # re-centre so the reported interval is always a valid probability range.
+    lower = min(max(centre - half_width, 0.0), 1.0)
+    upper = min(max(centre + half_width, 0.0), 1.0)
+    return EstimateWithConfidence(
+        (lower + upper) / 2.0, (upper - lower) / 2.0, confidence, trials
+    )
 
 
 def required_packets_for_bler(target_bler: float, relative_error: float = 0.3) -> int:
@@ -95,6 +103,6 @@ def required_packets_for_bler(target_bler: float, relative_error: float = 0.3) -
     """
     if not 0.0 < target_bler < 1.0:
         raise ValueError("target_bler must be in (0, 1)")
-    if relative_error <= 0:
+    if not relative_error > 0:  # rejects NaN as well as non-positive values
         raise ValueError("relative_error must be positive")
     return int(np.ceil((1.0 - target_bler) / (target_bler * relative_error**2)))

@@ -202,6 +202,17 @@ class MsbProtection(ProtectionScheme):
         return model.hybrid_overhead(self.bits_per_word, self.protected_msbs)
 
 
+def msb_protection_scheme(bits_per_word: int, protected_msbs: int) -> ProtectionScheme:
+    """The scheme protecting *protected_msbs* MSBs (``0`` = unprotected array).
+
+    The factory the protection-depth sweeps (Figs. 7 and 8) share: a depth of
+    zero is the plain all-6T array rather than a degenerate hybrid.
+    """
+    if protected_msbs == 0:
+        return NoProtection(bits_per_word=bits_per_word)
+    return MsbProtection(bits_per_word=bits_per_word, protected_msbs=protected_msbs)
+
+
 @dataclass(frozen=True)
 class FullCellProtection(ProtectionScheme):
     """Every bit in robust (8T) cells — the conventional all-robust design."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
@@ -76,6 +77,55 @@ class SweepTable:
     def print(self) -> None:
         """Print the markdown rendering (used by example scripts and benches)."""
         print(self.to_markdown())
+
+    # ------------------------------------------------------------------ #
+    # JSON (de)serialisation — the result-cache / golden-file format
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-dict form with only JSON-representable values."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [{c: _jsonable(row.get(c)) for c in self.columns if c in row} for row in self.rows],
+            "metadata": {k: _jsonable(v) for k, v in sorted(self.metadata.items())},
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (sorted keys, stable float repr).
+
+        Two tables with bit-identical contents serialise to byte-identical
+        text — the property the determinism tests and the golden-seed
+        regression suite assert on.
+        """
+        return json.dumps(self.to_json_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "SweepTable":
+        """Rebuild a table from :meth:`to_json_dict` output."""
+        table = cls(
+            title=payload["title"],
+            columns=list(payload["columns"]),
+            metadata=dict(payload.get("metadata", {})),
+        )
+        for row in payload.get("rows", []):
+            table.add_row(**row)
+        return table
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepTable":
+        """Rebuild a table from :meth:`to_json` output."""
+        return cls.from_json_dict(json.loads(text))
+
+
+def _jsonable(value: Any):
+    """Coerce numpy scalars (and sequences thereof) to plain JSON types."""
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return value
 
 
 def summarize_series(name: str, values: Sequence[float]) -> Dict[str, float]:

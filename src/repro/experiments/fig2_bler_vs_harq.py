@@ -12,12 +12,14 @@ regimes are reproduced here relative to this simulator's operating range
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
-from repro.link.system import HspaLikeLink
-from repro.utils.rng import RngLike, child_rngs
+from repro.harq.metrics import merge_statistics
+from repro.runner.parallel import ParallelRunner
+from repro.runner.tasks import LinkChunkTask, simulate_link_chunk, split_packets
+from repro.utils.rng import RngLike, resolve_entropy
 
 #: SNR regimes (dB): low (outage), medium, high (mostly first-transmission success).
 SNR_REGIMES_DB = (8.0, 16.0, 26.0)
@@ -27,6 +29,7 @@ def run(
     scale: Union[str, Scale] = "smoke",
     seed: RngLike = 2012,
     snr_regimes_db=SNR_REGIMES_DB,
+    runner: Optional[ParallelRunner] = None,
 ) -> SweepTable:
     """Run the Fig. 2 experiment and return its data table.
 
@@ -38,6 +41,11 @@ def run(
         Reproducibility seed.
     snr_regimes_db:
         The three SNR regimes to simulate.
+    runner:
+        Execution strategy; defaults to in-process serial.  The packet
+        budget of each regime is sharded into fixed chunks seeded by
+        ``(regime, chunk)`` spawn keys, so results do not depend on the
+        worker count.
 
     Returns
     -------
@@ -47,21 +55,37 @@ def run(
     """
     resolved = get_scale(scale)
     config = resolved.link_config()
-    link = HspaLikeLink(config)
+    runner = runner or ParallelRunner.serial()
+    entropy = resolve_entropy(seed)
+
+    regimes = [float(snr) for snr in snr_regimes_db]
+    chunk_sizes = split_packets(resolved.num_packets)
+    tasks = [
+        LinkChunkTask(
+            config=config,
+            snr_db=snr_db,
+            num_packets=chunk_packets,
+            entropy=entropy,
+            key=(regime_index, chunk_index),
+        )
+        for regime_index, snr_db in enumerate(regimes)
+        for chunk_index, chunk_packets in enumerate(chunk_sizes)
+    ]
+    chunk_statistics = runner.map(simulate_link_chunk, tasks)
 
     table = SweepTable(
         title="Fig. 2 — decoding failure probability vs HARQ transmission",
         columns=["snr_db", "transmission", "failure_probability", "attempts"],
-        metadata={"scale": resolved.name, "config": config.describe()},
+        metadata={"scale": resolved.name, "config": config.describe(), "seed": entropy},
     )
-    regime_rngs = child_rngs(seed, len(tuple(snr_regimes_db)))
-    for snr_db, regime_rng in zip(snr_regimes_db, regime_rngs):
-        result = link.simulate_packets(resolved.num_packets, float(snr_db), regime_rng)
-        probabilities = result.statistics.failure_probability_per_transmission()
-        attempts = result.statistics.attempts_per_transmission
+    for regime_index, snr_db in enumerate(regimes):
+        start = regime_index * len(chunk_sizes)
+        statistics = merge_statistics(chunk_statistics[start : start + len(chunk_sizes)])
+        probabilities = statistics.failure_probability_per_transmission()
+        attempts = statistics.attempts_per_transmission
         for transmission_index, probability in enumerate(probabilities):
             table.add_row(
-                snr_db=float(snr_db),
+                snr_db=snr_db,
                 transmission=transmission_index + 1,
                 failure_probability=float(probability),
                 attempts=int(attempts[transmission_index]),

@@ -24,11 +24,13 @@ def run(
     scale: Union[str, Scale] = "smoke",
     seed: int = 0,
     voltages: Sequence[float] = DEFAULT_VOLTAGES,
+    runner=None,
 ) -> SweepTable:
     """Run the Fig. 3 experiment and return its data table.
 
-    The *scale* and *seed* parameters are accepted for interface uniformity;
-    the cell models are analytical so the result is deterministic and cheap.
+    The *scale*, *seed* and *runner* parameters are accepted for interface
+    uniformity; the cell models are analytical so the result is
+    deterministic and cheap.
     """
     get_scale(scale)  # validate the name even though the scale is unused
     soft_errors = SoftErrorModel()

@@ -31,6 +31,7 @@ def run(
     cell_failure_probabilities: Sequence[float] = DEFAULT_PCELLS,
     array_size: int = ARRAY_SIZE_CELLS,
     yield_target: float = YIELD_TARGET,
+    runner=None,
 ) -> dict:
     """Run the Fig. 5 experiment.
 

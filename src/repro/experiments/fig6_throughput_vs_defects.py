@@ -12,13 +12,14 @@ observations of Section 5:
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
-from repro.core.fault_simulator import SystemLevelFaultSimulator
 from repro.core.protection import NoProtection
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
-from repro.utils.rng import RngLike
+from repro.runner.parallel import ParallelRunner
+from repro.runner.tasks import GridPoint, run_fault_map_grid
+from repro.utils.rng import RngLike, resolve_entropy
 
 
 def run(
@@ -26,27 +27,64 @@ def run(
     seed: RngLike = 2012,
     defect_rates: Sequence[float] | None = None,
     snr_points_db: Sequence[float] | None = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> SweepTable:
     """Run the Fig. 6 experiment and return its data table.
 
     Each row carries both the Fig. 6(a) quantity (normalized throughput) and
-    the Fig. 6(b) quantity (average number of transmissions).
+    the Fig. 6(b) quantity (average number of transmissions).  The full
+    (defect rate x SNR x fault map) grid is decomposed into one work item per
+    die, seeded by its ``(rate, snr, map)`` coordinates, so any
+    :class:`~repro.runner.parallel.ParallelRunner` worker count reproduces
+    the same table bit-for-bit.
     """
     resolved = get_scale(scale)
     config = resolved.link_config()
-    simulator = SystemLevelFaultSimulator(
-        config,
-        NoProtection(bits_per_word=config.llr_bits),
-        num_fault_maps=resolved.num_fault_maps,
-    )
-    table = simulator.throughput_table(
-        snr_points_db if snr_points_db is not None else resolved.snr_points_db,
-        defect_rates if defect_rates is not None else resolved.defect_rates,
+    protection = NoProtection(bits_per_word=config.llr_bits)
+    runner = runner or ParallelRunner.serial()
+    entropy = resolve_entropy(seed)
+
+    rates = [float(r) for r in (defect_rates if defect_rates is not None else resolved.defect_rates)]
+    snrs = [float(s) for s in (snr_points_db if snr_points_db is not None else resolved.snr_points_db)]
+    grid = [
+        GridPoint(
+            key_prefix=(rate_index, snr_index),
+            config=config,
+            protection=protection,
+            snr_db=snrs[snr_index],
+            defect_rate=rates[rate_index],
+        )
+        for rate_index in range(len(rates))
+        for snr_index in range(len(snrs))
+    ]
+    merged = run_fault_map_grid(
+        runner,
+        grid,
         num_packets=resolved.num_packets,
-        rng=seed,
-        title="Fig. 6 — throughput and transmissions vs SNR for defect rates (unprotected 6T)",
+        num_fault_maps=resolved.num_fault_maps,
+        entropy=entropy,
     )
-    table.metadata["scale"] = resolved.name
+
+    table = SweepTable(
+        title="Fig. 6 — throughput and transmissions vs SNR for defect rates (unprotected 6T)",
+        columns=["defect_rate", "snr_db", "throughput", "avg_transmissions", "bler"],
+        metadata={
+            "protection": protection.name,
+            "config": config.describe(),
+            "num_packets": resolved.num_packets,
+            "num_fault_maps": resolved.num_fault_maps,
+            "scale": resolved.name,
+            "seed": entropy,
+        },
+    )
+    for grid_point, point in zip(grid, merged):
+        table.add_row(
+            defect_rate=grid_point.defect_rate,
+            snr_db=point.snr_db,
+            throughput=point.normalized_throughput,
+            avg_transmissions=point.average_transmissions,
+            bler=point.block_error_rate,
+        )
     return table
 
 

@@ -9,13 +9,14 @@ even at a 10 % defect rate.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
-from repro.core.fault_simulator import SystemLevelFaultSimulator
-from repro.core.protection import MsbProtection, NoProtection
+from repro.core.protection import msb_protection_scheme
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
-from repro.utils.rng import RngLike, child_rngs
+from repro.runner.parallel import ParallelRunner
+from repro.runner.tasks import GridPoint, run_fault_map_grid
+from repro.utils.rng import RngLike, resolve_entropy
 
 #: Protection depths evaluated (0 = unprotected reference, 10 = all bits).
 DEFAULT_PROTECTED_BITS = (0, 2, 3, 4, 10)
@@ -29,44 +30,64 @@ def run(
     defect_rate: float = 0.10,
     protected_bit_counts: Sequence[int] = DEFAULT_PROTECTED_BITS,
     snr_points_db: Sequence[float] | None = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> SweepTable:
-    """Run one Fig. 7 sub-figure (defect_rate 0.01 -> (a), 0.10 -> (b))."""
+    """Run one Fig. 7 sub-figure (defect_rate 0.01 -> (a), 0.10 -> (b)).
+
+    The (protection depth x SNR x fault map) grid is decomposed into one
+    work item per die, seeded by its coordinates, so serial and parallel
+    runs coincide bit-for-bit.
+    """
     resolved = get_scale(scale)
     config = resolved.link_config()
-    snrs = snr_points_db if snr_points_db is not None else resolved.snr_points_db
+    runner = runner or ParallelRunner.serial()
+    entropy = resolve_entropy(seed)
+    snrs = [float(s) for s in (snr_points_db if snr_points_db is not None else resolved.snr_points_db)]
+    counts = [int(c) for c in protected_bit_counts]
+
+    grid = [
+        GridPoint(
+            key_prefix=(count_index, snr_index),
+            config=config,
+            protection=msb_protection_scheme(config.llr_bits, counts[count_index]),
+            snr_db=snrs[snr_index],
+            defect_rate=float(defect_rate),
+        )
+        for count_index in range(len(counts))
+        for snr_index in range(len(snrs))
+    ]
+    merged = run_fault_map_grid(
+        runner,
+        grid,
+        num_packets=resolved.num_packets,
+        num_fault_maps=resolved.num_fault_maps,
+        entropy=entropy,
+    )
+
     table = SweepTable(
         title=f"Fig. 7 — throughput vs SNR protecting k MSBs (defects {defect_rate:.0%} in 6T cells)",
         columns=["protected_bits", "snr_db", "throughput", "avg_transmissions", "bler"],
-        metadata={"scale": resolved.name, "defect_rate": defect_rate},
+        metadata={"scale": resolved.name, "defect_rate": defect_rate, "seed": entropy},
     )
-    count_rngs = child_rngs(seed, len(tuple(protected_bit_counts)))
-    for protected_bits, count_rng in zip(protected_bit_counts, count_rngs):
-        if protected_bits == 0:
-            protection = NoProtection(bits_per_word=config.llr_bits)
-        else:
-            protection = MsbProtection(
-                bits_per_word=config.llr_bits, protected_msbs=int(protected_bits)
-            )
-        simulator = SystemLevelFaultSimulator(
-            config, protection, num_fault_maps=resolved.num_fault_maps
+    for grid_point, point in zip(grid, merged):
+        table.add_row(
+            protected_bits=counts[grid_point.key_prefix[0]],
+            snr_db=point.snr_db,
+            throughput=point.normalized_throughput,
+            avg_transmissions=point.average_transmissions,
+            bler=point.block_error_rate,
         )
-        for point in simulator.snr_sweep(snrs, defect_rate, resolved.num_packets, count_rng):
-            table.add_row(
-                protected_bits=int(protected_bits),
-                snr_db=point.snr_db,
-                throughput=point.normalized_throughput,
-                avg_transmissions=point.average_transmissions,
-                bler=point.block_error_rate,
-            )
     return table
 
 
 def run_both_subfigures(
-    scale: Union[str, Scale] = "smoke", seed: RngLike = 2012
+    scale: Union[str, Scale] = "smoke",
+    seed: RngLike = 2012,
+    runner: Optional[ParallelRunner] = None,
 ) -> dict:
     """Run Fig. 7(a) (1 % defects) and Fig. 7(b) (10 % defects)."""
     return {
-        name: run(scale, seed, defect_rate=rate)
+        name: run(scale, seed, defect_rate=rate, runner=runner)
         for name, rate in SUBFIGURE_DEFECT_RATES.items()
     }
 

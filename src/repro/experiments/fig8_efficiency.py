@@ -10,12 +10,15 @@ less efficient.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
-from repro.core.efficiency import ProtectionEfficiencyAnalysis
+from repro.core.efficiency import ProtectionEfficiencyAnalysis, ProtectionEfficiencyPoint
+from repro.core.protection import msb_protection_scheme
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
-from repro.utils.rng import RngLike
+from repro.runner.parallel import ParallelRunner
+from repro.runner.tasks import GridPoint, run_fault_map_grid
+from repro.utils.rng import RngLike, resolve_entropy
 
 #: Protection depths evaluated along the Fig. 8 x-axis.
 DEFAULT_PROTECTED_BITS = (1, 2, 3, 4, 6, 8, 10)
@@ -27,8 +30,13 @@ def run(
     snr_db: float = 14.0,
     defect_rate: float = 0.10,
     protected_bit_counts: Sequence[int] = DEFAULT_PROTECTED_BITS,
+    runner: Optional[ParallelRunner] = None,
 ) -> dict:
     """Run the Fig. 8 experiment.
+
+    The defect-free reference and every protection depth become independent
+    work items (one per fault map), so the whole figure parallelises; the
+    efficiency arithmetic stays in the driver.
 
     Returns
     -------
@@ -40,13 +48,61 @@ def run(
     resolved = get_scale(scale)
     config = resolved.link_config()
     analysis = ProtectionEfficiencyAnalysis(config, num_fault_maps=resolved.num_fault_maps)
-    points = analysis.sweep(
-        snr_db, defect_rate, protected_bit_counts, resolved.num_packets, seed
+    runner = runner or ParallelRunner.serial()
+    entropy = resolve_entropy(seed)
+    counts = [int(c) for c in protected_bit_counts]
+
+    # Work item coordinates: 0 is the defect-free reference, 1 + i the i-th
+    # protection depth of the sweep.
+    grid = [
+        GridPoint(
+            key_prefix=(0,),
+            config=config,
+            protection=msb_protection_scheme(config.llr_bits, 0),
+            snr_db=float(snr_db),
+            defect_rate=0.0,
+        )
+    ] + [
+        GridPoint(
+            key_prefix=(1 + count_index,),
+            config=config,
+            protection=msb_protection_scheme(config.llr_bits, count),
+            snr_db=float(snr_db),
+            defect_rate=float(defect_rate),
+        )
+        for count_index, count in enumerate(counts)
+    ]
+    merged = run_fault_map_grid(
+        runner,
+        grid,
+        num_packets=resolved.num_packets,
+        num_fault_maps=resolved.num_fault_maps,
+        entropy=entropy,
     )
+    reference = merged[0].normalized_throughput
+    points = []
+    for count, outcome in zip(counts, merged[1:]):
+        overhead = analysis.area_model.hybrid_overhead(config.llr_bits, count)
+        gain = outcome.normalized_throughput / reference if reference > 0 else float("nan")
+        points.append(
+            ProtectionEfficiencyPoint(
+                protected_bits=count,
+                throughput=outcome.normalized_throughput,
+                throughput_gain=gain,
+                area_overhead=overhead,
+                efficiency=gain / overhead if overhead > 0 else float("nan"),
+            )
+        )
+
     table = SweepTable(
         title=f"Fig. 8 — protection efficiency at {snr_db:.0f} dB, {defect_rate:.0%} defects",
         columns=["protected_bits", "throughput", "throughput_gain", "area_overhead", "efficiency"],
-        metadata={"scale": resolved.name, "snr_db": snr_db, "defect_rate": defect_rate},
+        metadata={
+            "scale": resolved.name,
+            "snr_db": snr_db,
+            "defect_rate": defect_rate,
+            "seed": entropy,
+        },
     )
     for point in points:
         table.add_row(

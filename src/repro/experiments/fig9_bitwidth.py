@@ -10,12 +10,15 @@ faults are part of the design space.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
-from repro.core.bitwidth import BitWidthAnalysis
+from repro.core.bitwidth import BitWidthAnalysis, BitWidthPoint
+from repro.core.protection import NoProtection
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
-from repro.utils.rng import RngLike
+from repro.runner.parallel import ParallelRunner
+from repro.runner.tasks import GridPoint, run_fault_map_grid
+from repro.utils.rng import RngLike, resolve_entropy
 
 #: LLR word widths of the paper's Fig. 9.
 DEFAULT_WIDTHS = (10, 11, 12)
@@ -27,8 +30,13 @@ def run(
     defect_rate: float = 0.10,
     llr_widths: Sequence[int] = DEFAULT_WIDTHS,
     snr_points_db: Sequence[float] | None = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> dict:
     """Run the Fig. 9 experiment.
+
+    Every (LLR width, SNR, fault map) combination is an independent work
+    item; each width gets its own link configuration, which the workers
+    memoise per process.
 
     Returns
     -------
@@ -36,10 +44,46 @@ def run(
         ``{"table": SweepTable, "best_width_per_snr": dict}``.
     """
     resolved = get_scale(scale)
-    config = resolved.link_config()
-    analysis = BitWidthAnalysis(config, num_fault_maps=resolved.num_fault_maps)
-    snrs = snr_points_db if snr_points_db is not None else resolved.snr_points_db
-    points = analysis.sweep(llr_widths, snrs, defect_rate, resolved.num_packets, seed)
+    base_config = resolved.link_config()
+    analysis = BitWidthAnalysis(base_config, num_fault_maps=resolved.num_fault_maps)
+    runner = runner or ParallelRunner.serial()
+    entropy = resolve_entropy(seed)
+    widths = [int(w) for w in llr_widths]
+    snrs = [float(s) for s in (snr_points_db if snr_points_db is not None else resolved.snr_points_db)]
+
+    grid = [
+        GridPoint(
+            key_prefix=(width_index, snr_index),
+            config=base_config.with_updates(llr_bits=widths[width_index]),
+            protection=NoProtection(bits_per_word=widths[width_index]),
+            snr_db=snrs[snr_index],
+            defect_rate=float(defect_rate),
+        )
+        for width_index in range(len(widths))
+        for snr_index in range(len(snrs))
+    ]
+    merged_points = run_fault_map_grid(
+        runner,
+        grid,
+        num_packets=resolved.num_packets,
+        num_fault_maps=resolved.num_fault_maps,
+        entropy=entropy,
+    )
+
+    points = []
+    for grid_point, merged in zip(grid, merged_points):
+        points.append(
+            BitWidthPoint(
+                llr_bits=grid_point.config.llr_bits,
+                snr_db=merged.snr_db,
+                defect_rate=defect_rate,
+                storage_cells=grid_point.config.llr_storage_cells,
+                num_faults=merged.num_faults,
+                throughput=merged.normalized_throughput,
+                average_transmissions=merged.average_transmissions,
+            )
+        )
+
     table = SweepTable(
         title=f"Fig. 9 — throughput vs LLR bit-width at {defect_rate:.0%} defects (no protection)",
         columns=[
@@ -50,7 +94,7 @@ def run(
             "throughput",
             "avg_transmissions",
         ],
-        metadata={"defect_rate": defect_rate},
+        metadata={"defect_rate": defect_rate, "seed": entropy},
     )
     for point in points:
         table.add_row(

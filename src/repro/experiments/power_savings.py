@@ -30,6 +30,7 @@ def run(
     tolerable_defect_rate_unprotected: float = TOLERABLE_DEFECT_RATE_UNPROTECTED,
     tolerable_defect_rate_protected: float = TOLERABLE_DEFECT_RATE_PROTECTED,
     protected_msbs: int = 4,
+    runner=None,
 ) -> SweepTable:
     """Run the Section 6.3 power-saving analysis.
 

@@ -98,6 +98,36 @@ class HarqStatistics:
         }
 
 
+def merge_statistics(parts: Sequence[HarqStatistics]) -> HarqStatistics:
+    """Merge statistics computed over disjoint packet sets into one aggregate.
+
+    This is the reduction the parallel runner uses: every shard aggregates
+    its own packets with :func:`aggregate_results`, and the merged outcome is
+    identical to aggregating all packets in one call (the counters are sums
+    and the per-transmission arrays are padded to the longest budget seen).
+    """
+    parts = list(parts)
+    if not parts:
+        raise ValueError("parts must not be empty")
+    info_bits = {p.info_bits_per_packet for p in parts}
+    if len(info_bits) != 1:
+        raise ValueError(f"cannot merge statistics with mixed info bits {sorted(info_bits)}")
+    max_tx = max(p.attempts_per_transmission.size for p in parts)
+    attempts = np.zeros(max_tx, dtype=np.int64)
+    failures = np.zeros(max_tx, dtype=np.int64)
+    for p in parts:
+        attempts[: p.attempts_per_transmission.size] += p.attempts_per_transmission
+        failures[: p.failures_per_transmission.size] += p.failures_per_transmission
+    return HarqStatistics(
+        num_packets=sum(p.num_packets for p in parts),
+        num_successful=sum(p.num_successful for p in parts),
+        total_transmissions=sum(p.total_transmissions for p in parts),
+        info_bits_per_packet=parts[0].info_bits_per_packet,
+        attempts_per_transmission=attempts,
+        failures_per_transmission=failures,
+    )
+
+
 def aggregate_results(results: Sequence["HarqPacketResult"], info_bits_per_packet: int) -> HarqStatistics:
     """Build :class:`HarqStatistics` from individual packet results."""
     from repro.harq.controller import HarqPacketResult  # circular-safe import

@@ -1,0 +1,48 @@
+"""Parallel experiment execution: sharding, caching, registry and CLI.
+
+Public surface:
+
+* :class:`~repro.runner.parallel.ParallelRunner` — deterministic sharded
+  execution (serial fallback, process pool, adaptive stopping).
+* :mod:`repro.runner.tasks` — the picklable work items drivers decompose
+  their sweeps into, plus their keyed-seeding contract.
+* :mod:`repro.runner.registry` — the :class:`ExperimentSpec` registry behind
+  ``python -m repro run <experiment>``.
+* :class:`~repro.runner.cache.ResultCache` — on-disk JSON result cache.
+"""
+
+from repro.runner.cache import ResultCache, config_digest
+from repro.runner.parallel import AdaptiveEstimate, ParallelRunner
+
+# The registry imports the experiment drivers, and the drivers import
+# repro.runner.parallel / .tasks (hence this package __init__) — so the
+# registry surface is re-exported lazily to keep the import graph acyclic.
+_REGISTRY_EXPORTS = (
+    "EXPERIMENTS",
+    "ExperimentRun",
+    "ExperimentSpec",
+    "experiment_names",
+    "get_experiment",
+    "run_experiment",
+)
+
+
+def __getattr__(name: str):
+    if name in _REGISTRY_EXPORTS:
+        from repro.runner import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AdaptiveEstimate",
+    "EXPERIMENTS",
+    "ExperimentRun",
+    "ExperimentSpec",
+    "ParallelRunner",
+    "ResultCache",
+    "config_digest",
+    "experiment_names",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,136 @@
+"""On-disk JSON cache for experiment results.
+
+Layout: one file per run, ``<root>/<experiment>/<digest>.json``, where the
+digest hashes the full run identity — experiment name, scale parameters,
+seed and any driver keyword overrides.  A cache hit therefore means "this
+exact sweep was already computed" and short-circuits the Monte-Carlo work;
+worker count is deliberately *not* part of the key because it cannot change
+the results (see :mod:`repro.runner.parallel`).
+
+The stored payload is canonical JSON (sorted keys, stable float repr), so a
+cache file written by a 4-worker run is byte-identical to one written by a
+serial run — the property the acceptance tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.core.results import SweepTable, _jsonable
+
+#: Bump when the payload layout changes so stale cache entries miss cleanly.
+CACHE_FORMAT_VERSION = 1
+
+
+def config_digest(identity: Dict[str, Any]) -> str:
+    """Stable hex digest of a run-identity mapping (the cache key)."""
+    canonical = json.dumps(canonicalize(identity), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce arbitrary run-identity / extras values to canonical JSON form.
+
+    Dataclasses become tagged mappings, mapping keys are stringified and
+    sorted, numpy scalars collapse to plain numbers (via the same coercion
+    :class:`SweepTable` uses) and anything else falls back to ``repr``.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {"__dataclass__": type(value).__name__, **canonicalize(asdict(value))}
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    coerced = _jsonable(value)
+    if isinstance(coerced, (str, int, float, bool)) or coerced is None:
+        return coerced
+    return repr(value)
+
+
+class ResultCache:
+    """A directory of cached experiment runs.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on the first store).
+    """
+
+    def __init__(self, root: "Path | str") -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, experiment: str, digest: str) -> Path:
+        """File that does / would hold the run with this identity digest."""
+        return self.root / experiment / f"{digest}.json"
+
+    def load(self, experiment: str, digest: str) -> Optional[Dict[str, Any]]:
+        """Return the cached payload for a run identity, or ``None`` on miss."""
+        path = self.path_for(experiment, digest)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("cache_format") != CACHE_FORMAT_VERSION:
+            return None
+        return payload
+
+    def store(
+        self,
+        experiment: str,
+        digest: str,
+        *,
+        identity: Dict[str, Any],
+        tables: Dict[str, SweepTable],
+        extras: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Write a run's payload and return the file path."""
+        path = self.path_for(experiment, digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            serialize_payload(experiment, identity=identity, tables=tables, extras=extras)
+        )
+        return path
+
+    def entries(self) -> Dict[str, int]:
+        """Number of cached runs per experiment (for ``repro cache --list``)."""
+        if not self.root.exists():
+            return {}
+        return {
+            directory.name: sum(1 for _ in directory.glob("*.json"))
+            for directory in sorted(self.root.iterdir())
+            if directory.is_dir()
+        }
+
+
+# --------------------------------------------------------------------------- #
+def serialize_payload(
+    experiment: str,
+    *,
+    identity: Dict[str, Any],
+    tables: Dict[str, SweepTable],
+    extras: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Canonical JSON text for a run (also the golden-file format)."""
+    payload = {
+        "cache_format": CACHE_FORMAT_VERSION,
+        "experiment": experiment,
+        "identity": canonicalize(identity),
+        "tables": {name: table.to_json_dict() for name, table in sorted(tables.items())},
+        "extras": canonicalize(extras or {}),
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def deserialize_tables(payload: Dict[str, Any]) -> Dict[str, SweepTable]:
+    """Rebuild the :class:`SweepTable` mapping from a stored payload."""
+    return {
+        name: SweepTable.from_json_dict(table)
+        for name, table in payload.get("tables", {}).items()
+    }

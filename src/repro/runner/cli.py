@@ -1,0 +1,276 @@
+"""``python -m repro`` — the unified experiment command line.
+
+Subcommands
+-----------
+
+``run <experiment>``
+    Run one registered experiment (``--scale``, ``--seed``, ``--workers``),
+    consult / fill the on-disk result cache, and emit the result as
+    canonical JSON (``--out``) or markdown (default).
+``list``
+    Show registered experiments and scale presets.
+``bler``
+    Adaptively estimate the defect-free link BLER at one SNR point, stopping
+    once the Wilson interval meets the requested relative error.
+``golden``
+    (Re)generate the golden-seed regression snapshots under ``tests/golden``.
+``cache``
+    Inspect the result cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.scales import SCALES, get_scale
+from repro.runner.cache import ResultCache, config_digest, serialize_payload
+from repro.runner.parallel import ParallelRunner
+from repro.runner.registry import EXPERIMENTS, run_experiment
+from repro.runner.tasks import LinkChunkTask, count_block_errors
+
+#: Default cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+#: Seed used throughout the repository's reproducible artefacts.
+DEFAULT_SEED = 2012
+#: Experiments snapshotted by the golden-seed regression suite (all of them).
+GOLDEN_EXPERIMENTS = tuple(EXPERIMENTS)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the paper's experiments with deterministic parallel sharding.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=list(EXPERIMENTS), help="experiment name")
+    run_p.add_argument("--scale", default="smoke", choices=sorted(SCALES), help="scale preset")
+    run_p.add_argument("--seed", type=int, default=DEFAULT_SEED, help="experiment seed")
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU; never changes the results)",
+    )
+    run_p.add_argument("--out", type=Path, default=None, help="write canonical JSON here")
+    run_p.add_argument("--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR))
+    run_p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    run_p.add_argument("--force", action="store_true", help="recompute even on a cache hit")
+
+    sub.add_parser("list", help="list experiments and scale presets")
+
+    bler_p = sub.add_parser("bler", help="adaptive BLER estimate at one SNR point")
+    bler_p.add_argument("--snr", type=float, required=True, help="receive SNR in dB")
+    bler_p.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+    bler_p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    bler_p.add_argument("--workers", type=int, default=1)
+    bler_p.add_argument("--relative-error", type=float, default=0.3)
+    bler_p.add_argument("--confidence", type=float, default=0.95)
+    bler_p.add_argument("--bler-floor", type=float, default=1e-2)
+    bler_p.add_argument("--chunk-packets", type=int, default=8)
+    bler_p.add_argument("--max-packets", type=int, default=None)
+
+    golden_p = sub.add_parser("golden", help="regenerate golden regression snapshots")
+    golden_p.add_argument(
+        "--out-dir", type=Path, default=Path("tests/golden"), help="snapshot directory"
+    )
+    golden_p.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+    golden_p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    golden_p.add_argument(
+        "--experiments", nargs="*", default=None, help="subset to regenerate (default: all)"
+    )
+
+    cache_p = sub.add_parser("cache", help="inspect the result cache")
+    cache_p.add_argument("--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR))
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+def run_identity(experiment: str, scale_name: str, seed: int, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """The mapping that keys the cache and annotates every artefact.
+
+    Besides the scale *name*, the identity hashes the resolved scale
+    parameters and the derived link configuration, so editing a preset (or a
+    ``LinkConfig`` default) invalidates stale cache entries instead of
+    silently serving pre-change results.
+    """
+    scale = get_scale(scale_name)
+    return {
+        "experiment": experiment,
+        "scale": scale_name,
+        "scale_params": scale,
+        "link_config": scale.link_config().describe(),
+        "seed": int(seed),
+        "kwargs": kwargs,
+    }
+
+
+def experiment_payload(
+    experiment: str,
+    scale_name: str,
+    seed: int,
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+    **kwargs: Any,
+) -> str:
+    """Run (or fetch) an experiment and return its canonical JSON payload.
+
+    This is the programmatic core of ``repro run``: worker count affects
+    only wall-clock time, so the returned text is byte-identical for any
+    ``workers`` value and is shared through the cache across runs.
+    """
+    identity = run_identity(experiment, scale_name, seed, dict(sorted(kwargs.items())))
+    digest = config_digest(identity)
+    if cache is not None and not force:
+        hit = cache.load(experiment, digest)
+        if hit is not None:
+            return serialize_from_cache(hit)
+    outcome = run_experiment(
+        experiment, scale_name, seed, runner=ParallelRunner(workers), **kwargs
+    )
+    payload = serialize_payload(
+        experiment, identity=identity, tables=outcome.tables, extras=outcome.extras
+    )
+    if cache is not None:
+        cache.store(
+            experiment, digest, identity=identity, tables=outcome.tables, extras=outcome.extras
+        )
+    return payload
+
+
+def serialize_from_cache(payload: Dict[str, Any]) -> str:
+    """Re-serialise a cached payload to the canonical text form."""
+    import json
+
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+def _cmd_run(args: argparse.Namespace) -> int:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    payload = experiment_payload(
+        args.experiment,
+        args.scale,
+        args.seed,
+        workers=args.workers,
+        cache=cache,
+        force=args.force,
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(payload)
+        print(f"wrote {args.out}")
+    else:
+        import json
+
+        decoded = json.loads(payload)
+        from repro.core.results import SweepTable
+
+        for name in sorted(decoded["tables"]):
+            print(SweepTable.from_json_dict(decoded["tables"][name]).to_markdown())
+            print()
+        if decoded.get("extras"):
+            print("extras:", json.dumps(decoded["extras"], sort_keys=True))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for spec in EXPERIMENTS.values():
+        kind = "monte-carlo" if spec.stochastic else "analytical"
+        print(f"  {spec.name:<14} {spec.figure:<12} [{kind}] {spec.summary}")
+    print("scales:")
+    for scale in SCALES.values():
+        print(
+            f"  {scale.name:<8} payload={scale.payload_bits}b packets={scale.num_packets} "
+            f"maps={scale.num_fault_maps} snr_points={len(scale.snr_points_db)}"
+        )
+    return 0
+
+
+def _cmd_bler(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    config = scale.link_config()
+    runner = ParallelRunner(args.workers)
+
+    def make_task(chunk_index: int) -> LinkChunkTask:
+        return LinkChunkTask(
+            config=config,
+            snr_db=args.snr,
+            num_packets=args.chunk_packets,
+            entropy=args.seed,
+            key=(chunk_index,),
+        )
+
+    outcome = runner.run_adaptive_proportion(
+        make_task,
+        count_block_errors,
+        confidence=args.confidence,
+        relative_error=args.relative_error,
+        bler_floor=args.bler_floor,
+        max_trials=args.max_packets,
+    )
+    estimate = outcome.estimate
+    print(
+        f"BLER at {args.snr:.1f} dB ({scale.name} scale): {estimate.value:.4f} "
+        f"± {estimate.half_width:.4f} ({estimate.confidence:.0%} Wilson)"
+    )
+    print(
+        f"  errors={outcome.errors} packets={outcome.trials} "
+        f"chunks={outcome.num_chunks} stop={outcome.stop_reason}"
+    )
+    return 0
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    names = args.experiments or list(GOLDEN_EXPERIMENTS)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        payload = experiment_payload(name, args.scale, args.seed, workers=1, cache=None)
+        path = args.out_dir / f"{name}.json"
+        path.write_text(payload)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    entries = ResultCache(args.cache_dir).entries()
+    if not entries:
+        print(f"cache at {args.cache_dir} is empty")
+        return 0
+    for experiment, count in entries.items():
+        print(f"  {experiment:<14} {count} cached run(s)")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "list": _cmd_list,
+    "bler": _cmd_bler,
+    "golden": _cmd_golden,
+    "cache": _cmd_cache,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        # Domain validation (negative seeds/workers, bad floors, ...) should
+        # read like a CLI error, not a traceback.
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution helper
+    sys.exit(main())

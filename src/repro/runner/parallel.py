@@ -1,0 +1,214 @@
+"""Deterministically-sharded parallel execution of experiment workloads.
+
+The paper stresses that "meaningful throughput evaluation requires a vast
+amount of Monte-Carlo simulations averaging over various wireless channel
+conditions"; this module provides the execution substrate for that averaging:
+
+* :class:`ParallelRunner` — executes a list of independent, picklable work
+  items over a :class:`concurrent.futures.ProcessPoolExecutor` (or serially
+  in-process for ``workers <= 1``) and returns results **in submission
+  order**.
+* Deterministic sharding — a workload is decomposed into work items *before*
+  execution, and every item derives its random stream from a
+  :func:`repro.utils.rng.keyed_seed_sequence` spawn key that encodes the
+  item's position in the sweep, never the worker that happens to execute it.
+  Consequently serial and parallel runs of the same plan are bit-identical.
+* Adaptive stopping — :meth:`ParallelRunner.run_adaptive_proportion` keeps
+  scheduling fixed-size packet chunks in fixed-size rounds until the Wilson
+  confidence interval from :func:`repro.core.montecarlo`
+  ``proportion_confidence_interval`` meets the requested relative error (or
+  the ``required_packets_for_bler`` budget for the smallest BLER of interest
+  is exhausted).  Because rounds — not workers — are the scheduling unit, the
+  stopping decision is also independent of the worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.montecarlo import (
+    EstimateWithConfidence,
+    proportion_confidence_interval,
+    required_packets_for_bler,
+)
+from repro.utils.validation import ensure_positive_int
+
+TaskT = TypeVar("TaskT")
+ResultT = TypeVar("ResultT")
+
+
+def default_workers() -> int:
+    """Worker count used when the caller asks for ``workers=0`` ("auto")."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class AdaptiveEstimate:
+    """Outcome of an adaptively-stopped proportion (BLER) estimation.
+
+    Attributes
+    ----------
+    estimate:
+        Wilson-interval estimate of the proportion at the stopping point.
+    errors, trials:
+        Raw counts accumulated over all executed chunks.
+    num_chunks:
+        Number of chunks executed before stopping.
+    stop_reason:
+        ``"confident"`` (interval met the target), ``"budget"`` (the
+        ``required_packets_for_bler`` budget for the BLER floor was spent) or
+        ``"max_packets"`` (hard trial ceiling hit).
+    """
+
+    estimate: EstimateWithConfidence
+    errors: int
+    trials: int
+    num_chunks: int
+    stop_reason: str
+
+
+class ParallelRunner:
+    """Execute independent work items across processes, deterministically.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``workers <= 1`` executes serially in
+        the calling process (the fallback used by tests and by environments
+        without ``fork``/``spawn`` support); ``workers == 0`` means "one per
+        CPU".  The *results* of a run never depend on this value — only the
+        wall-clock time does.
+    mp_context:
+        Multiprocessing start-method name (``"fork"``, ``"spawn"``,
+        ``"forkserver"``).  Defaults to ``"fork"`` where available (cheap on
+        Linux: workers inherit the imported simulator modules) and the
+        platform default elsewhere.
+    """
+
+    def __init__(self, workers: int = 1, *, mp_context: Optional[str] = None) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be non-negative, got {workers}")
+        self.workers = workers if workers > 0 else default_workers()
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else None
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def serial(cls) -> "ParallelRunner":
+        """A runner that executes everything in the calling process."""
+        return cls(workers=1)
+
+    @property
+    def is_serial(self) -> bool:
+        """Whether work runs in-process (no executor involved)."""
+        return self.workers <= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelRunner(workers={self.workers}, mp_context={self.mp_context!r})"
+
+    # ------------------------------------------------------------------ #
+    def map(self, fn: Callable[[TaskT], ResultT], tasks: Sequence[TaskT]) -> List[ResultT]:
+        """Run ``fn`` over *tasks* and return results in task order.
+
+        ``fn`` and every task must be picklable (module-level function plus
+        dataclass/tuple payloads) when more than one worker is used.  Because
+        each task carries its own seed material, the output is identical for
+        any worker count — including the serial fallback.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.is_serial or len(tasks) == 1:
+            return [fn(task) for task in tasks]
+        context = (
+            multiprocessing.get_context(self.mp_context) if self.mp_context else None
+        )
+        max_workers = min(self.workers, len(tasks))
+        with ProcessPoolExecutor(max_workers=max_workers, mp_context=context) as pool:
+            futures = [pool.submit(fn, task) for task in tasks]
+            return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    def run_adaptive_proportion(
+        self,
+        make_task: Callable[[int], TaskT],
+        fn: Callable[[TaskT], Tuple[int, int]],
+        *,
+        confidence: float = 0.95,
+        relative_error: float = 0.3,
+        bler_floor: float = 1e-3,
+        chunks_per_round: int = 4,
+        min_trials: int = 32,
+        max_trials: Optional[int] = None,
+    ) -> AdaptiveEstimate:
+        """Estimate a proportion (e.g. BLER), stopping once it is confident.
+
+        Parameters
+        ----------
+        make_task:
+            Builds the work item for chunk *i*; the item must derive its
+            random stream from the chunk index so the schedule (hence the
+            result) is independent of the worker count.
+        fn:
+            Executes one chunk and returns ``(errors, trials)``.
+        confidence, relative_error:
+            Stop once the Wilson interval's half-width is at most
+            ``relative_error`` times the estimate (with at least one error
+            observed and ``min_trials`` trials accumulated).
+        bler_floor:
+            Smallest proportion worth resolving; once
+            :func:`required_packets_for_bler` packets for this floor have
+            been spent without reaching confidence, the sweep stops (an
+            error-free point would otherwise never terminate).
+        chunks_per_round:
+            Chunks scheduled per decision round.  This — not ``workers`` —
+            is the scheduling quantum, so the stopping point is
+            deterministic.
+        min_trials, max_trials:
+            Soft floor / hard ceiling on accumulated trials.
+        """
+        ensure_positive_int(chunks_per_round, "chunks_per_round")
+        ensure_positive_int(min_trials, "min_trials")
+        if not 0.0 < bler_floor < 1.0:
+            raise ValueError("bler_floor must be in (0, 1)")
+        budget = required_packets_for_bler(bler_floor, relative_error)
+        if max_trials is not None:
+            ensure_positive_int(max_trials, "max_trials")
+
+        errors = 0
+        trials = 0
+        num_chunks = 0
+        stop_reason = "budget"
+        while True:
+            chunk_tasks = [make_task(num_chunks + i) for i in range(chunks_per_round)]
+            for chunk_errors, chunk_trials in self.map(fn, chunk_tasks):
+                errors += int(chunk_errors)
+                trials += int(chunk_trials)
+            num_chunks += len(chunk_tasks)
+
+            if trials >= min_trials and errors > 0:
+                interval = proportion_confidence_interval(errors, trials, confidence)
+                if interval.half_width <= relative_error * interval.value:
+                    stop_reason = "confident"
+                    break
+            if max_trials is not None and trials >= max_trials:
+                stop_reason = "max_packets"
+                break
+            if trials >= budget:
+                stop_reason = "budget"
+                break
+
+        estimate = proportion_confidence_interval(errors, trials, confidence)
+        return AdaptiveEstimate(
+            estimate=estimate,
+            errors=errors,
+            trials=trials,
+            num_chunks=num_chunks,
+            stop_reason=stop_reason,
+        )

@@ -1,0 +1,283 @@
+"""Picklable work items executed by :class:`~repro.runner.parallel.ParallelRunner`.
+
+Every task is a frozen dataclass carrying (a) the full simulation
+configuration, (b) an integer ``entropy`` (the user-visible experiment seed)
+and (c) a ``key`` — the task's coordinates inside its sweep (SNR index,
+defect-rate index, fault-map index, chunk index, ...).  The worker derives
+its random stream as ``keyed_seed_sequence(entropy, key)``, so the stream is
+a pure function of *what* is being simulated, never of *where* (which worker
+process) or *when* (in which order) it runs.  That is the whole determinism
+contract: serial and parallel executions of the same task list are
+bit-identical.
+
+Workers memoise the (expensive to build) link simulator per configuration,
+so scheduling many tasks that share a :class:`~repro.link.config.LinkConfig`
+costs one construction per worker process, not one per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fault_simulator import FaultSimulationPoint
+from repro.core.protection import ProtectionScheme
+from repro.harq.metrics import HarqStatistics, merge_statistics
+from repro.link.config import LinkConfig
+from repro.link.system import HspaLikeLink
+from repro.utils.rng import keyed_seed_sequence
+
+#: Per-process cache of constructed link simulators, keyed by configuration.
+_LINK_CACHE: Dict[Tuple[LinkConfig, bool], HspaLikeLink] = {}
+
+
+def _cached_link(config: LinkConfig, use_rake: bool = False) -> HspaLikeLink:
+    """The worker-local simulator for *config* (constructed once per process)."""
+    cache_key = (config, use_rake)
+    link = _LINK_CACHE.get(cache_key)
+    if link is None:
+        link = HspaLikeLink(config, use_rake=use_rake)
+        _LINK_CACHE[cache_key] = link
+    return link
+
+
+#: Packets per shard used by the stock experiment decompositions.  Part of
+#: the sharding plan (chunk boundaries move per-packet seed streams), so it
+#: is a constant of the experiment definition — never derived from the
+#: worker count.
+DEFAULT_CHUNK_PACKETS = 8
+
+
+def split_packets(num_packets: int, chunk_packets: int = DEFAULT_CHUNK_PACKETS) -> List[int]:
+    """Split a packet budget into deterministic shard sizes.
+
+    ``split_packets(20, 8) == [8, 8, 4]``; the plan depends only on the
+    budget and the chunk size, so any worker count replays the same shards.
+    """
+    if num_packets <= 0:
+        raise ValueError(f"num_packets must be positive, got {num_packets}")
+    if chunk_packets <= 0:
+        raise ValueError(f"chunk_packets must be positive, got {chunk_packets}")
+    full, remainder = divmod(num_packets, chunk_packets)
+    return [chunk_packets] * full + ([remainder] if remainder else [])
+
+
+# --------------------------------------------------------------------------- #
+# fault-free link chunks (Fig. 2 and adaptive BLER estimation)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LinkChunkTask:
+    """Simulate a chunk of packets on the defect-free link at one SNR point."""
+
+    config: LinkConfig
+    snr_db: float
+    num_packets: int
+    entropy: int
+    key: Tuple[int, ...]
+    use_rake: bool = False
+
+
+def simulate_link_chunk(task: LinkChunkTask) -> HarqStatistics:
+    """Run one :class:`LinkChunkTask` and return its aggregate statistics."""
+    link = _cached_link(task.config, task.use_rake)
+    seed = keyed_seed_sequence(task.entropy, task.key)
+    result = link.simulate_packets(task.num_packets, task.snr_db, seed)
+    return result.statistics
+
+
+def count_block_errors(task: LinkChunkTask) -> Tuple[int, int]:
+    """Run one chunk and return ``(block_errors, packets)`` for adaptive stopping."""
+    statistics = simulate_link_chunk(task)
+    return statistics.num_packets - statistics.num_successful, statistics.num_packets
+
+
+# --------------------------------------------------------------------------- #
+# faulty-buffer chunks (Figs. 6-9: one task per fault map / die)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FaultMapTask:
+    """Simulate one fault map (die) at one (SNR, defect-rate) operating point.
+
+    Mirrors one iteration of the fault-map loop in
+    :meth:`repro.core.fault_simulator.SystemLevelFaultSimulator.evaluate`:
+    draw a worst-case accepted die with exactly ``Nf`` faults in the fallible
+    cells, install it in the HARQ soft buffer, and push a packet batch
+    through the link.
+    """
+
+    config: LinkConfig
+    protection: ProtectionScheme
+    snr_db: float
+    defect_rate: float
+    num_packets: int
+    entropy: int
+    key: Tuple[int, ...]
+    use_rake: bool = False
+
+
+@dataclass(frozen=True)
+class FaultMapOutcome:
+    """Statistics of one simulated die, plus its fault-injection bookkeeping."""
+
+    statistics: HarqStatistics
+    num_faults: int
+    fallible_cells: int
+
+    @property
+    def normalized_throughput(self) -> float:
+        """Normalized throughput of this die."""
+        return self.statistics.normalized_throughput
+
+
+def simulate_fault_map(task: FaultMapTask) -> FaultMapOutcome:
+    """Run one :class:`FaultMapTask` and return the die's outcome."""
+    link = _cached_link(task.config, task.use_rake)
+    fallible = task.protection.unprotected_cells(task.config.llr_storage_words)
+    if task.defect_rate < 0:
+        raise ValueError("defect_rate must be non-negative")
+    num_faults = int(round(task.defect_rate * fallible))
+    seed = keyed_seed_sequence(task.entropy, task.key)
+    map_seed, sim_seed = seed.spawn(2)
+    fault_map = task.protection.make_fault_map(
+        task.config.llr_storage_words, num_faults, rng=np.random.default_rng(map_seed)
+    )
+    ecc = task.protection.ecc
+
+    def buffer_factory(_index: int):
+        return link.make_buffer(fault_map=fault_map, ecc=ecc)
+
+    result = link.simulate_packets(
+        task.num_packets, task.snr_db, sim_seed, buffer_factory=buffer_factory
+    )
+    return FaultMapOutcome(
+        statistics=result.statistics, num_faults=num_faults, fallible_cells=fallible
+    )
+
+
+def merge_fault_outcomes(
+    outcomes: Sequence[FaultMapOutcome],
+    *,
+    snr_db: float,
+    protection: ProtectionScheme,
+) -> FaultSimulationPoint:
+    """Reduce per-die outcomes into one :class:`FaultSimulationPoint`.
+
+    The reduction matches what
+    :meth:`~repro.core.fault_simulator.SystemLevelFaultSimulator.evaluate`
+    produces when it runs the same dies serially: packet statistics are
+    summed and the per-die throughputs are kept for die-to-die variation.
+    """
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ValueError("outcomes must not be empty")
+    statistics = merge_statistics([o.statistics for o in outcomes])
+    num_faults = outcomes[0].num_faults
+    fallible = outcomes[0].fallible_cells
+    defect_rate = num_faults / fallible if fallible else 0.0
+    return FaultSimulationPoint(
+        snr_db=float(snr_db),
+        num_faults=num_faults,
+        defect_rate=defect_rate,
+        statistics=statistics,
+        per_map_throughput=[o.normalized_throughput for o in outcomes],
+        protection_name=protection.name,
+    )
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One operating point of a fault-map sweep grid.
+
+    Attributes
+    ----------
+    key_prefix:
+        The point's coordinates in the sweep (die index is appended).
+    config, protection:
+        Link configuration and storage scheme evaluated at this point.
+    snr_db, defect_rate:
+        Operating conditions.
+    """
+
+    key_prefix: Tuple[int, ...]
+    config: LinkConfig
+    protection: ProtectionScheme
+    snr_db: float
+    defect_rate: float
+
+
+def run_fault_map_grid(
+    runner,
+    points: Sequence[GridPoint],
+    *,
+    num_packets: int,
+    num_fault_maps: int,
+    entropy: int,
+    use_rake: bool = False,
+) -> List[FaultSimulationPoint]:
+    """Evaluate a whole sweep grid and return one merged point per entry.
+
+    This owns the task-order/slicing invariant shared by the Fig. 6-9
+    drivers: tasks are laid out point-major (``num_fault_maps`` consecutive
+    tasks per grid point), executed in one :meth:`ParallelRunner.map` call,
+    and reduced back in the same order.
+    """
+    tasks: List[FaultMapTask] = []
+    for point in points:
+        tasks.extend(
+            fault_map_tasks_for_point(
+                point.config,
+                point.protection,
+                snr_db=point.snr_db,
+                defect_rate=point.defect_rate,
+                num_packets=num_packets,
+                num_fault_maps=num_fault_maps,
+                entropy=entropy,
+                key_prefix=point.key_prefix,
+                use_rake=use_rake,
+            )
+        )
+    outcomes = runner.map(simulate_fault_map, tasks)
+    return [
+        merge_fault_outcomes(
+            outcomes[index * num_fault_maps : (index + 1) * num_fault_maps],
+            snr_db=point.snr_db,
+            protection=point.protection,
+        )
+        for index, point in enumerate(points)
+    ]
+
+
+def fault_map_tasks_for_point(
+    config: LinkConfig,
+    protection: ProtectionScheme,
+    *,
+    snr_db: float,
+    defect_rate: float,
+    num_packets: int,
+    num_fault_maps: int,
+    entropy: int,
+    key_prefix: Tuple[int, ...],
+    use_rake: bool = False,
+) -> List[FaultMapTask]:
+    """The standard sharding of one operating point: one task per die.
+
+    Packets are split across dies exactly as the serial fault simulator does
+    (``max(1, num_packets // num_fault_maps)`` per die); die ``m`` gets spawn
+    key ``key_prefix + (m,)``.
+    """
+    packets_per_map = max(1, num_packets // num_fault_maps)
+    return [
+        FaultMapTask(
+            config=config,
+            protection=protection,
+            snr_db=float(snr_db),
+            defect_rate=float(defect_rate),
+            num_packets=packets_per_map,
+            entropy=entropy,
+            key=key_prefix + (map_index,),
+            use_rake=use_rake,
+        )
+        for map_index in range(num_fault_maps)
+    ]

@@ -1,0 +1,82 @@
+"""Golden-seed regression suite: every driver's smoke-scale output is pinned.
+
+Each file under ``tests/golden/`` snapshots the full normalised output
+(tables + extras) of one experiment at the ``smoke`` scale with seed 2012.
+Any numeric drift beyond 1e-9 — a changed default, a reordered reduction, a
+different seeding path — fails the suite.  After an *intentional* change to
+experiment behaviour, regenerate the snapshots with::
+
+    PYTHONPATH=src python -m repro golden --out-dir tests/golden
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.runner.cache import serialize_payload
+from repro.runner.cli import GOLDEN_EXPERIMENTS, run_identity
+from repro.runner.registry import run_experiment
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_SCALE = "smoke"
+GOLDEN_SEED = 2012
+TOLERANCE = 1e-9
+
+REGEN_HINT = (
+    "golden snapshot mismatch; if the change is intentional, regenerate with "
+    "`PYTHONPATH=src python -m repro golden --out-dir tests/golden`"
+)
+
+
+def _assert_close(actual, expected, path=""):
+    """Recursively compare JSON trees with a 1e-9 numeric tolerance."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected mapping ({REGEN_HINT})"
+        assert sorted(actual) == sorted(expected), f"{path}: keys differ ({REGEN_HINT})"
+        for key in expected:
+            _assert_close(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected list ({REGEN_HINT})"
+        assert len(actual) == len(expected), f"{path}: length differs ({REGEN_HINT})"
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            _assert_close(a, e, f"{path}[{index}]")
+    elif isinstance(expected, bool) or not isinstance(expected, (int, float)):
+        assert actual == expected, f"{path}: {actual!r} != {expected!r} ({REGEN_HINT})"
+    else:
+        assert isinstance(actual, (int, float)) and not isinstance(actual, bool), (
+            f"{path}: expected number, got {type(actual).__name__} ({REGEN_HINT})"
+        )
+        if math.isnan(expected):
+            assert math.isnan(actual), f"{path}: expected nan, got {actual!r} ({REGEN_HINT})"
+        else:
+            assert abs(actual - expected) <= TOLERANCE, (
+                f"{path}: |{actual!r} - {expected!r}| > {TOLERANCE} ({REGEN_HINT})"
+            )
+
+
+def test_every_experiment_has_a_snapshot():
+    missing = [
+        name for name in GOLDEN_EXPERIMENTS if not (GOLDEN_DIR / f"{name}.json").exists()
+    ]
+    assert not missing, f"missing golden snapshots for {missing}; {REGEN_HINT}"
+
+
+@pytest.mark.parametrize("experiment", GOLDEN_EXPERIMENTS)
+def test_golden_output(experiment):
+    golden_path = GOLDEN_DIR / f"{experiment}.json"
+    if not golden_path.exists():
+        pytest.fail(f"no golden snapshot for {experiment}; {REGEN_HINT}")
+    expected = json.loads(golden_path.read_text())
+
+    outcome = run_experiment(experiment, GOLDEN_SCALE, GOLDEN_SEED)
+    actual = json.loads(
+        serialize_payload(
+            experiment,
+            identity=run_identity(experiment, GOLDEN_SCALE, GOLDEN_SEED, {}),
+            tables=outcome.tables,
+            extras=outcome.extras,
+        )
+    )
+    _assert_close(actual, expected)

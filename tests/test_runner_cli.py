@@ -1,0 +1,189 @@
+"""Tests for the ``python -m repro`` CLI and the on-disk result cache."""
+
+import json
+
+import pytest
+
+from repro.core.results import SweepTable
+from repro.runner.cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    config_digest,
+    deserialize_tables,
+)
+from repro.runner.cli import experiment_payload, main, run_identity
+from repro.runner.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_nine_drivers_registered(self):
+        assert list(EXPERIMENTS) == [
+            "fig2",
+            "fig3",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "power_savings",
+        ]
+
+    def test_unknown_experiment_is_helpful(self):
+        with pytest.raises(ValueError, match="fig6"):
+            get_experiment("fig666")
+
+    def test_run_experiment_normalises_single_table(self):
+        outcome = run_experiment("fig3")
+        assert set(outcome.tables) == {"table"}
+        assert outcome.primary_table is outcome.tables["table"]
+
+    def test_run_experiment_normalises_multi_table(self):
+        outcome = run_experiment("fig5")
+        assert set(outcome.tables) == {"curves", "targets"}
+        assert outcome.primary_table is outcome.tables["curves"]
+
+    def test_extras_are_jsonable(self):
+        outcome = run_experiment(
+            "fig8",
+            "smoke",
+            7,
+            protected_bit_counts=(2, 4),
+        )
+        json.dumps(outcome.extras)  # must not raise
+        assert "optimum_bits" in outcome.extras
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        identity = run_identity("fig3", "smoke", 0, {})
+        digest = config_digest(identity)
+        assert cache.load("fig3", digest) is None
+
+        outcome = run_experiment("fig3")
+        cache.store("fig3", digest, identity=identity, tables=outcome.tables)
+        payload = cache.load("fig3", digest)
+        assert payload is not None
+        assert payload["cache_format"] == CACHE_FORMAT_VERSION
+        tables = deserialize_tables(payload)
+        assert tables["table"].to_json() == outcome.tables["table"].to_json()
+
+    def test_digest_sensitive_to_identity(self):
+        base = run_identity("fig6", "smoke", 2012, {})
+        assert config_digest(base) != config_digest(run_identity("fig6", "smoke", 2013, {}))
+        assert config_digest(base) != config_digest(run_identity("fig6", "default", 2012, {}))
+        assert config_digest(base) != config_digest(run_identity("fig7", "smoke", 2012, {}))
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("fig3", "deadbeef")
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.load("fig3", "deadbeef") is None
+
+    def test_entries_counts_per_experiment(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.entries() == {}
+        outcome = run_experiment("fig3")
+        cache.store("fig3", "aaaa", identity={}, tables=outcome.tables)
+        cache.store("fig3", "bbbb", identity={}, tables=outcome.tables)
+        assert cache.entries() == {"fig3": 2}
+
+
+class TestExperimentPayload:
+    def test_cached_payload_is_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = experiment_payload("fig3", "smoke", 0, cache=cache)
+        second = experiment_payload("fig3", "smoke", 0, cache=cache)
+        assert first == second
+        assert cache.entries() == {"fig3": 1}
+
+    def test_force_recomputes_consistently(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = experiment_payload("fig3", "smoke", 0, cache=cache)
+        forced = experiment_payload("fig3", "smoke", 0, cache=cache, force=True)
+        assert first == forced
+
+    def test_payload_round_trips_tables(self):
+        payload = json.loads(experiment_payload("fig3", "smoke", 0))
+        table = SweepTable.from_json_dict(payload["tables"]["table"])
+        assert table.columns[0] == "vdd"
+        assert len(table) > 0
+
+
+class TestCliMain:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig6" in output and "power_savings" in output and "smoke" in output
+
+    def test_run_writes_canonical_json(self, tmp_path, capsys):
+        out = tmp_path / "fig3.json"
+        code = main(
+            [
+                "run",
+                "fig3",
+                "--scale",
+                "smoke",
+                "--out",
+                str(out),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "fig3"
+        assert payload["identity"]["scale"] == "smoke"
+
+    def test_run_prints_markdown_without_out(self, tmp_path, capsys):
+        assert main(["run", "fig3", "--no-cache"]) == 0
+        assert "| vdd |" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "does-not-exist"])
+
+    def test_golden_subcommand_writes_snapshots(self, tmp_path, capsys):
+        code = main(
+            [
+                "golden",
+                "--out-dir",
+                str(tmp_path),
+                "--experiments",
+                "fig3",
+                "power_savings",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "fig3.json").exists()
+        assert (tmp_path / "power_savings.json").exists()
+
+    def test_bler_subcommand(self, capsys):
+        code = main(
+            [
+                "bler",
+                "--snr",
+                "26",
+                "--relative-error",
+                "0.9",
+                "--bler-floor",
+                "0.2",
+                "--chunk-packets",
+                "2",
+                "--max-packets",
+                "8",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "BLER at 26.0 dB" in output
+        assert "stop=" in output
+
+    def test_cache_subcommand(self, tmp_path, capsys):
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out

@@ -113,3 +113,35 @@ class TestValidation:
     def test_choice_rejects(self):
         with pytest.raises(ValueError):
             ensure_choice("c", "x", ["a", "b"])
+
+
+class TestResolveEntropy:
+    def test_int_passes_through(self):
+        from repro.utils.rng import resolve_entropy
+
+        assert resolve_entropy(2012) == 2012
+
+    def test_none_gives_fresh_entropy(self):
+        from repro.utils.rng import resolve_entropy
+
+        assert resolve_entropy(None) >= 0
+
+    def test_seed_sequence_entropy_recovered(self):
+        from repro.utils.rng import resolve_entropy
+
+        assert resolve_entropy(np.random.SeedSequence(77)) == 77
+
+    def test_generator_reduces_reproducibly(self):
+        from repro.utils.rng import resolve_entropy
+
+        first = resolve_entropy(np.random.default_rng(3))
+        second = resolve_entropy(np.random.default_rng(3))
+        assert first == second
+
+    def test_negative_and_bool_rejected(self):
+        from repro.utils.rng import resolve_entropy
+
+        with pytest.raises(ValueError):
+            resolve_entropy(-1)
+        with pytest.raises(TypeError):
+            resolve_entropy(True)
