@@ -18,7 +18,7 @@ from repro.core.protection import NoProtection
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
 from repro.runner.parallel import ParallelRunner
-from repro.runner.tasks import GridPoint, run_fault_map_grid
+from repro.runner.tasks import GridPoint, resolve_adaptive, run_fault_map_grid
 from repro.utils.rng import RngLike, resolve_entropy
 
 
@@ -28,6 +28,8 @@ def run(
     defect_rates: Sequence[float] | None = None,
     snr_points_db: Sequence[float] | None = None,
     runner: Optional[ParallelRunner] = None,
+    decoder_backend: Optional[str] = None,
+    adaptive=None,
 ) -> SweepTable:
     """Run the Fig. 6 experiment and return its data table.
 
@@ -36,10 +38,13 @@ def run(
     (defect rate x SNR x fault map) grid is decomposed into one work item per
     die, seeded by its ``(rate, snr, map)`` coordinates, so any
     :class:`~repro.runner.parallel.ParallelRunner` worker count reproduces
-    the same table bit-for-bit.
+    the same table bit-for-bit.  *decoder_backend* selects the turbo-decoder
+    kernel; *adaptive* (``True`` or an
+    :class:`~repro.runner.tasks.AdaptiveStopping`) lets confidently-resolved
+    points stop before the full packet budget.
     """
     resolved = get_scale(scale)
-    config = resolved.link_config()
+    config = resolved.link_config(decoder_backend=decoder_backend)
     protection = NoProtection(bits_per_word=config.llr_bits)
     runner = runner or ParallelRunner.serial()
     entropy = resolve_entropy(seed)
@@ -63,6 +68,7 @@ def run(
         num_packets=resolved.num_packets,
         num_fault_maps=resolved.num_fault_maps,
         entropy=entropy,
+        adaptive=resolve_adaptive(adaptive),
     )
 
     table = SweepTable(

@@ -15,7 +15,7 @@ from repro.core.protection import msb_protection_scheme
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
 from repro.runner.parallel import ParallelRunner
-from repro.runner.tasks import GridPoint, run_fault_map_grid
+from repro.runner.tasks import GridPoint, resolve_adaptive, run_fault_map_grid
 from repro.utils.rng import RngLike, resolve_entropy
 
 #: Protection depths evaluated (0 = unprotected reference, 10 = all bits).
@@ -31,6 +31,8 @@ def run(
     protected_bit_counts: Sequence[int] = DEFAULT_PROTECTED_BITS,
     snr_points_db: Sequence[float] | None = None,
     runner: Optional[ParallelRunner] = None,
+    decoder_backend: Optional[str] = None,
+    adaptive=None,
 ) -> SweepTable:
     """Run one Fig. 7 sub-figure (defect_rate 0.01 -> (a), 0.10 -> (b)).
 
@@ -39,7 +41,7 @@ def run(
     runs coincide bit-for-bit.
     """
     resolved = get_scale(scale)
-    config = resolved.link_config()
+    config = resolved.link_config(decoder_backend=decoder_backend)
     runner = runner or ParallelRunner.serial()
     entropy = resolve_entropy(seed)
     snrs = [float(s) for s in (snr_points_db if snr_points_db is not None else resolved.snr_points_db)]
@@ -62,6 +64,7 @@ def run(
         num_packets=resolved.num_packets,
         num_fault_maps=resolved.num_fault_maps,
         entropy=entropy,
+        adaptive=resolve_adaptive(adaptive),
     )
 
     table = SweepTable(

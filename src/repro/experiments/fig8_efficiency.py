@@ -17,7 +17,7 @@ from repro.core.protection import msb_protection_scheme
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
 from repro.runner.parallel import ParallelRunner
-from repro.runner.tasks import GridPoint, run_fault_map_grid
+from repro.runner.tasks import GridPoint, resolve_adaptive, run_fault_map_grid
 from repro.utils.rng import RngLike, resolve_entropy
 
 #: Protection depths evaluated along the Fig. 8 x-axis.
@@ -31,6 +31,8 @@ def run(
     defect_rate: float = 0.10,
     protected_bit_counts: Sequence[int] = DEFAULT_PROTECTED_BITS,
     runner: Optional[ParallelRunner] = None,
+    decoder_backend: Optional[str] = None,
+    adaptive=None,
 ) -> dict:
     """Run the Fig. 8 experiment.
 
@@ -46,7 +48,7 @@ def run(
         Section 6.2 ECC-overhead comparison.
     """
     resolved = get_scale(scale)
-    config = resolved.link_config()
+    config = resolved.link_config(decoder_backend=decoder_backend)
     analysis = ProtectionEfficiencyAnalysis(config, num_fault_maps=resolved.num_fault_maps)
     runner = runner or ParallelRunner.serial()
     entropy = resolve_entropy(seed)
@@ -78,6 +80,7 @@ def run(
         num_packets=resolved.num_packets,
         num_fault_maps=resolved.num_fault_maps,
         entropy=entropy,
+        adaptive=resolve_adaptive(adaptive),
     )
     reference = merged[0].normalized_throughput
     points = []

@@ -17,7 +17,7 @@ from repro.core.protection import NoProtection
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
 from repro.runner.parallel import ParallelRunner
-from repro.runner.tasks import GridPoint, run_fault_map_grid
+from repro.runner.tasks import GridPoint, resolve_adaptive, run_fault_map_grid
 from repro.utils.rng import RngLike, resolve_entropy
 
 #: LLR word widths of the paper's Fig. 9.
@@ -31,6 +31,8 @@ def run(
     llr_widths: Sequence[int] = DEFAULT_WIDTHS,
     snr_points_db: Sequence[float] | None = None,
     runner: Optional[ParallelRunner] = None,
+    decoder_backend: Optional[str] = None,
+    adaptive=None,
 ) -> dict:
     """Run the Fig. 9 experiment.
 
@@ -44,7 +46,7 @@ def run(
         ``{"table": SweepTable, "best_width_per_snr": dict}``.
     """
     resolved = get_scale(scale)
-    base_config = resolved.link_config()
+    base_config = resolved.link_config(decoder_backend=decoder_backend)
     analysis = BitWidthAnalysis(base_config, num_fault_maps=resolved.num_fault_maps)
     runner = runner or ParallelRunner.serial()
     entropy = resolve_entropy(seed)
@@ -68,6 +70,7 @@ def run(
         num_packets=resolved.num_packets,
         num_fault_maps=resolved.num_fault_maps,
         entropy=entropy,
+        adaptive=resolve_adaptive(adaptive),
     )
 
     points = []

@@ -45,12 +45,17 @@ class Scale:
     defect_rates: Tuple[float, ...]
 
     def link_config(self, **overrides) -> LinkConfig:
-        """Build the default :class:`~repro.link.config.LinkConfig` at this scale."""
+        """Build the default :class:`~repro.link.config.LinkConfig` at this scale.
+
+        ``None``-valued overrides mean "keep the default", so drivers can
+        forward optional keywords (e.g. ``decoder_backend``) unconditionally.
+        """
         config = LinkConfig(
             payload_bits=self.payload_bits,
             crc_bits=16,
             turbo_iterations=self.turbo_iterations,
         )
+        overrides = {key: value for key, value in overrides.items() if value is not None}
         if overrides:
             config = config.with_updates(**overrides)
         return config

@@ -63,6 +63,11 @@ class LinkConfig:
         decoder reads the buffer — the organisation whose size matches the
         paper's LLR-storage numbers.  ``"combined"`` stores the running
         mother-domain sum instead (a virtual-IR-buffer organisation).
+    decoder_backend:
+        Turbo-decoder backend name (see :mod:`repro.phy.turbo.backends`).
+        The default ``"numpy"`` is the deterministic float64 kernel whose
+        output the golden-seed suite pins; ``"numba"``/``"auto"`` select the
+        JIT backend when available, ``"numpy-f32"`` the float32 mode.
     """
 
     modulation: str = "64QAM"
@@ -80,6 +85,7 @@ class LinkConfig:
     spreading_factor: int = 1
     interleaver_columns: int = 30
     buffer_architecture: str = "per-transmission"
+    decoder_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.payload_bits, "payload_bits")
@@ -105,6 +111,11 @@ class LinkConfig:
                 f"unknown channel profile {self.channel_profile!r}; "
                 f"choose from {sorted(PROFILES)}"
             )
+        # Validates the token (raises on typos); availability is resolved at
+        # decoder construction time, falling back to numpy if necessary.
+        from repro.phy.turbo.backends import parse_backend_name
+
+        parse_backend_name(self.decoder_backend)
 
     # ------------------------------------------------------------------ #
     # derived quantities
@@ -185,12 +196,20 @@ class LinkConfig:
         return replace(self, **kwargs)
 
     def describe(self) -> str:
-        """Human-readable multi-line summary of the operating mode."""
+        """Human-readable multi-line summary of the operating mode.
+
+        The default decoder backend is omitted so that run identities (and
+        the golden snapshots that pin them) are unchanged for default runs;
+        any non-default backend is spelled out, which keys caches apart.
+        """
+        backend = (
+            "" if self.decoder_backend == "numpy" else f", decoder {self.decoder_backend}"
+        )
         return (
             f"{self.modulation}, K={self.block_size} bits "
             f"(payload {self.payload_bits} + CRC {self.crc_bits}), "
             f"rate {self.effective_code_rate:.2f}, "
             f"{self.max_transmissions} transmissions ({self.combining.value}), "
             f"{self.llr_bits}-bit LLRs, profile {self.profile.name}, "
-            f"LLR storage {self.llr_storage_cells} cells"
+            f"LLR storage {self.llr_storage_cells} cells{backend}"
         )

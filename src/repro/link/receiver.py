@@ -126,3 +126,27 @@ class Receiver:
         crc_ok = self.config.crc.check(decoded)
         payload = decoded[: self.config.payload_bits]
         return payload, bool(crc_ok), result
+
+    def decode_batch(self, combined_rows: np.ndarray):
+        """Turbo-decode a batch of combined LLR rows and CRC-check each.
+
+        This is the aggregation point of the receive chain: the link layer
+        pools the active packets of *many* simulation groups (work-item
+        chunks, HARQ attempts at the same combining state) into one call, so
+        the decoder runs at the widest batch available.  Because the decoder
+        processes rows independently, the result for each packet is
+        identical to decoding it alone.
+
+        Returns
+        -------
+        tuple
+            ``(decoded_blocks, crc_ok, decoder_result)`` where
+            ``decoded_blocks`` has shape ``(batch, block_size)`` and
+            ``crc_ok`` is a boolean array of per-row CRC outcomes.
+        """
+        result = self.transmitter.turbo.decode_buffer(combined_rows)
+        decoded = result.decoded_bits
+        crc_ok = np.fromiter(
+            (self.config.crc.check(row) for row in decoded), dtype=bool, count=len(decoded)
+        )
+        return decoded, crc_ok, result

@@ -15,19 +15,26 @@ Two buffer organisations are supported (see
   virtual-IR-buffer organisation); faults therefore corrupt the *combined*
   soft values.
 
-Two simulation paths are provided:
+Three simulation paths are provided:
 
 * :meth:`HspaLikeLink.simulate_single_packet` — one packet at a time;
   convenient for tests and for tracing a packet's lifetime.
-* :meth:`HspaLikeLink.simulate_packets` — the Monte-Carlo workhorse: many
-  packets advance through their HARQ rounds in lock-step so that the turbo
-  decoder (the dominant cost) runs on whole batches.
+* :meth:`HspaLikeLink.simulate_packets` — many packets advance through
+  their HARQ rounds in lock-step so that the turbo decoder (the dominant
+  cost) runs on whole batches.
+* :func:`simulate_packet_groups` — the Monte-Carlo workhorse behind
+  cross-work-item batch aggregation: several independent packet groups
+  (e.g. the chunks of different work items, each with its own seed stream,
+  SNR point and fault map) advance in lock-step and share **one** decoder
+  call per HARQ round.  Because the decoder treats batch rows
+  independently, every group's results are bit-identical to simulating it
+  alone — grouping is purely a throughput optimisation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -37,7 +44,7 @@ from repro.harq.controller import HarqPacketResult
 from repro.harq.metrics import HarqStatistics, aggregate_results
 from repro.link.config import LinkConfig
 from repro.link.receiver import Receiver
-from repro.link.transmitter import Transmitter
+from repro.link.transmitter import EncodedPacket, Transmitter
 from repro.utils.rng import RngLike, child_rngs
 from repro.utils.validation import ensure_positive_int
 
@@ -64,6 +71,36 @@ class LinkSimulationResult:
     snr_db: float
     statistics: HarqStatistics
     packet_results: List[HarqPacketResult] = field(default_factory=list)
+
+
+@dataclass
+class PacketGroup:
+    """One independent batch of packets at a single operating point.
+
+    A group is the unit whose random stream, payloads and soft buffers are
+    self-contained; :func:`simulate_packet_groups` may pool any number of
+    groups into shared decoder calls without changing any group's outcome.
+    """
+
+    num_packets: int
+    snr_db: float
+    rng: RngLike = None
+    buffer_factory: Optional[BufferFactory] = None
+    payloads: Optional[List[np.ndarray]] = None
+
+
+@dataclass
+class _PacketState:
+    """Mutable per-packet simulation state while HARQ rounds are running."""
+
+    rng: np.random.Generator
+    packet: EncodedPacket
+    buffer: SoftBuffer
+    snr_db: float
+    transmissions: int = 0
+    success: bool = False
+    failure_history: List[bool] = field(default_factory=list)
+    decoded: Optional[np.ndarray] = None
 
 
 class HspaLikeLink:
@@ -143,77 +180,85 @@ class HspaLikeLink:
         realisations and noise, and gets its own soft buffer from
         *buffer_factory* (defect-free buffers by default).
         """
-        num_packets = ensure_positive_int(num_packets, "num_packets")
-        packet_rngs = child_rngs(rng, num_packets)
-        factory = buffer_factory or (lambda _index: self.make_buffer())
+        group = PacketGroup(
+            num_packets=num_packets,
+            snr_db=snr_db,
+            rng=rng,
+            buffer_factory=buffer_factory,
+            payloads=payloads,
+        )
+        return simulate_packet_groups(self, [group])[0]
 
+    # ------------------------------------------------------------------ #
+    # group-simulation plumbing (shared with the batch-aggregation layer)
+    # ------------------------------------------------------------------ #
+    def _start_group(self, group: PacketGroup) -> List[_PacketState]:
+        """Derive per-packet streams, payloads and buffers for one group.
+
+        The derivation order (child rngs, then payloads, then buffers)
+        matches the historical ``simulate_packets`` body exactly, so seeded
+        runs reproduce bit-for-bit.
+        """
+        num_packets = ensure_positive_int(group.num_packets, "num_packets")
+        packet_rngs = child_rngs(group.rng, num_packets)
+        factory = group.buffer_factory or (lambda _index: self.make_buffer())
+
+        payloads = group.payloads
         if payloads is None:
             payloads = [self.transmitter.random_payload(r) for r in packet_rngs]
         elif len(payloads) != num_packets:
             raise ValueError(f"expected {num_packets} payloads, got {len(payloads)}")
-        packets = [self.transmitter.encode(p) for p in payloads]
-        buffers = [factory(i) for i in range(num_packets)]
-        for soft_buffer in buffers:
+        states = []
+        for index, (packet_rng, payload) in enumerate(zip(packet_rngs, payloads)):
+            soft_buffer = factory(index)
             soft_buffer.clear()
-
-        transmissions_used = np.zeros(num_packets, dtype=np.int64)
-        success = np.zeros(num_packets, dtype=bool)
-        failure_history: List[List[bool]] = [[] for _ in range(num_packets)]
-        final_decoded: List[Optional[np.ndarray]] = [None] * num_packets
-
-        per_transmission = self.config.buffer_architecture == "per-transmission"
-        active = list(range(num_packets))
-        for transmission_index in range(self.config.max_transmissions):
-            if not active:
-                break
-            redundancy_version = self.config.combining.redundancy_version(transmission_index)
-            combined_rows = []
-            for packet_index in active:
-                generator = packet_rngs[packet_index]
-                samples = self.transmitter.transmit(packets[packet_index], redundancy_version)
-                received, impulse_response, noise_variance = self.channel.apply(
-                    samples, snr_db, generator
+            states.append(
+                _PacketState(
+                    rng=packet_rng,
+                    packet=self.transmitter.encode(payload),
+                    buffer=soft_buffer,
+                    snr_db=float(group.snr_db),
                 )
-                soft_buffer = buffers[packet_index]
-                if per_transmission:
-                    channel_llrs = self.receiver.front_end(
-                        received, impulse_response, noise_variance
-                    )
-                    soft_buffer.store_transmission(
-                        transmission_index, channel_llrs, redundancy_version
-                    )
-                    combined = soft_buffer.combined_mother_llrs(
-                        self.receiver.to_mother_domain
-                    )
-                else:
-                    mother_llrs = self.receiver.process_transmission(
-                        received, impulse_response, noise_variance, redundancy_version
-                    )
-                    combined = soft_buffer.combine_and_store(mother_llrs)
-                combined_rows.append(combined)
-                transmissions_used[packet_index] += 1
+            )
+        return states
 
-            decode_result = self.transmitter.turbo.decode_buffer(np.stack(combined_rows))
-            still_active = []
-            for row_index, packet_index in enumerate(active):
-                decoded = decode_result.decoded_bits[row_index]
-                crc_ok = self.config.crc.check(decoded)
-                failure_history[packet_index].append(not crc_ok)
-                final_decoded[packet_index] = decoded[: self.config.payload_bits]
-                if crc_ok:
-                    success[packet_index] = True
-                else:
-                    still_active.append(packet_index)
-            active = still_active
+    def _front_end_step(
+        self, state: _PacketState, transmission_index: int, redundancy_version: int
+    ) -> np.ndarray:
+        """Run one packet's (re)transmission through channel and front end.
 
+        Returns the combined mother-domain LLRs ready for decoding.
+        """
+        samples = self.transmitter.transmit(state.packet, redundancy_version)
+        received, impulse_response, noise_variance = self.channel.apply(
+            samples, state.snr_db, state.rng
+        )
+        if self.config.buffer_architecture == "per-transmission":
+            channel_llrs = self.receiver.front_end(
+                received, impulse_response, noise_variance
+            )
+            state.buffer.store_transmission(
+                transmission_index, channel_llrs, redundancy_version
+            )
+            combined = state.buffer.combined_mother_llrs(self.receiver.to_mother_domain)
+        else:
+            mother_llrs = self.receiver.process_transmission(
+                received, impulse_response, noise_variance, redundancy_version
+            )
+            combined = state.buffer.combine_and_store(mother_llrs)
+        state.transmissions += 1
+        return combined
+
+    def _finish_group(self, states: Sequence[_PacketState], snr_db: float) -> LinkSimulationResult:
+        """Reduce a group's final per-packet states into its result."""
         packet_results = [
             HarqPacketResult(
-                success=bool(success[i]),
-                num_transmissions=int(transmissions_used[i]),
-                decoded_bits=final_decoded[i],
-                failure_history=failure_history[i],
+                success=state.success,
+                num_transmissions=state.transmissions,
+                decoded_bits=state.decoded,
+                failure_history=state.failure_history,
             )
-            for i in range(num_packets)
+            for state in states
         ]
         statistics = aggregate_results(packet_results, self.config.payload_bits)
         return LinkSimulationResult(
@@ -248,3 +293,59 @@ class HspaLikeLink:
                 )
             )
         return results
+
+
+# --------------------------------------------------------------------------- #
+def simulate_packet_groups(
+    link: HspaLikeLink, groups: Sequence[PacketGroup]
+) -> List[LinkSimulationResult]:
+    """Simulate many independent packet groups with shared decoder calls.
+
+    All groups run on the same *link* (one configuration); each group keeps
+    its own seed stream, SNR point, payloads and soft buffers.  Every HARQ
+    round gathers the still-active packets of **all** groups — i.e. all
+    packets at the same combining state — into one turbo-decoder call, so
+    the decode batch stays wide even when individual groups are small or
+    mostly finished.
+
+    Per-group results are bit-identical to ``link.simulate_packets(...)``
+    run group by group: the decoder processes batch rows independently, and
+    every other per-packet operation was already independent.
+    """
+    groups = list(groups)
+    states_per_group = [link._start_group(group) for group in groups]
+
+    for transmission_index in range(link.config.max_transmissions):
+        active: List[Tuple[int, int]] = [
+            (group_index, packet_index)
+            for group_index, states in enumerate(states_per_group)
+            for packet_index, state in enumerate(states)
+            if not state.success
+        ]
+        if not active:
+            break
+        redundancy_version = link.config.combining.redundancy_version(transmission_index)
+        combined_rows = [
+            link._front_end_step(
+                states_per_group[group_index][packet_index],
+                transmission_index,
+                redundancy_version,
+            )
+            for group_index, packet_index in active
+        ]
+        decoded_blocks, crc_ok, _result = link.receiver.decode_batch(
+            np.stack(combined_rows)
+        )
+        payload_bits = link.config.payload_bits
+        for row_index, (group_index, packet_index) in enumerate(active):
+            state = states_per_group[group_index][packet_index]
+            ok = bool(crc_ok[row_index])
+            state.failure_history.append(not ok)
+            state.decoded = decoded_blocks[row_index][:payload_bits]
+            if ok:
+                state.success = True
+
+    return [
+        link._finish_group(states, group.snr_db)
+        for group, states in zip(groups, states_per_group)
+    ]

@@ -51,7 +51,9 @@ class Transmitter:
     def __init__(self, config: LinkConfig, turbo: Optional[TurboCode] = None) -> None:
         self.config = config
         self.turbo = turbo or TurboCode(
-            config.block_size, num_iterations=config.turbo_iterations
+            config.block_size,
+            num_iterations=config.turbo_iterations,
+            backend=config.decoder_backend,
         )
         self.rate_matcher = RateMatcher(
             num_coded_bits=config.num_coded_bits,

@@ -152,3 +152,24 @@ def split_systematic_priority_buffer(
     systematic = buf[:num_systematic]
     interlaced = buf[num_systematic:]
     return systematic, interlaced[0::2], interlaced[1::2]
+
+
+def split_systematic_priority_buffer_batch(
+    buffers: np.ndarray, num_systematic: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Whole-batch :func:`split_systematic_priority_buffer` (rows = blocks).
+
+    The parity streams are returned as contiguous arrays (the decoder's
+    kernels index them heavily); the systematic part is a view.
+    """
+    buf = np.asarray(buffers)
+    num_systematic = ensure_positive_int(num_systematic, "num_systematic")
+    if buf.ndim != 2:
+        raise ValueError(f"expected a 2-D batch of buffers, got shape {buf.shape}")
+    remaining = buf.shape[1] - num_systematic
+    if remaining < 0 or remaining % 2:
+        raise ValueError("buffer length inconsistent with num_systematic")
+    systematic = buf[:, :num_systematic]
+    parity1 = np.ascontiguousarray(buf[:, num_systematic::2])
+    parity2 = np.ascontiguousarray(buf[:, num_systematic + 1 :: 2])
+    return systematic, parity1, parity2

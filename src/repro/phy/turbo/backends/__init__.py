@@ -1,0 +1,156 @@
+"""Pluggable turbo-decoder backend registry with auto-detection.
+
+Backends are selected by name:
+
+``numpy`` / ``numpy-f32``
+    The rewritten vectorised numpy kernel (float64 / float32).  ``numpy``
+    is the default everywhere and is bit-identical to the seed decoder.
+``numba`` / ``numba-f32``
+    JIT-compiled trellis loops (:mod:`numba`), if the package is importable.
+    Requesting it on a machine without numba **falls back to numpy** with a
+    warning instead of failing — results stay correct, only slower.
+``auto``
+    The fastest available family (numba when importable, else numpy) at
+    float64.
+
+:func:`resolve_backend` reduces any of these names to the
+:class:`~repro.phy.turbo.backends.base.BackendSpec` that will actually run,
+which is what result caches must key on (see
+:func:`repro.runner.cache.decoder_backend_identity`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Dict, Tuple, Union
+
+from repro.phy.turbo.backends.base import NEG_INF, BackendSpec, SisoBackend
+from repro.phy.turbo.backends.numpy_backend import NumpySisoBackend
+from repro.phy.turbo.trellis import RscTrellis
+
+#: The backend used when nothing is requested — must stay deterministic and
+#: dependency-free, because the golden-seed suite pins its exact output.
+DEFAULT_BACKEND = "numpy"
+
+
+def _numba_available() -> bool:
+    try:  # pragma: no cover - depends on the environment
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _make_numba(trellis: RscTrellis, block_size: int, spec: BackendSpec) -> SisoBackend:
+    from repro.phy.turbo.backends.numba_backend import NumbaSisoBackend
+
+    return NumbaSisoBackend(trellis, block_size, spec)
+
+
+#: family -> (factory, availability probe).
+_FAMILIES: Dict[str, Tuple[Callable[..., SisoBackend], Callable[[], bool]]] = {
+    "numpy": (NumpySisoBackend, lambda: True),
+    "numba": (_make_numba, _numba_available),
+}
+
+
+def register_backend_family(
+    family: str,
+    factory: Callable[[RscTrellis, int, BackendSpec], SisoBackend],
+    *,
+    available: Callable[[], bool] = lambda: True,
+) -> None:
+    """Register an additional backend family (rejecting duplicates)."""
+    if family in _FAMILIES:
+        raise ValueError(f"duplicate backend family {family!r}")
+    _FAMILIES[family] = (factory, available)
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Every selectable backend token, including ``auto``."""
+    names = ["auto"]
+    for family in _FAMILIES:
+        names.append(family)
+        names.append(f"{family}-f32")
+    return tuple(names)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backend tokens whose family is importable on this machine."""
+    names = []
+    for family, (_factory, available) in _FAMILIES.items():
+        if available():
+            names.append(family)
+            names.append(f"{family}-f32")
+    return tuple(names)
+
+
+def parse_backend_name(name: str) -> BackendSpec:
+    """Split a backend token into (family, dtype) without availability checks."""
+    token = str(name).strip().lower()
+    if token == "auto":
+        family, dtype_name = "auto", "float64"
+    elif token.endswith("-f32"):
+        family, dtype_name = token[: -len("-f32")], "float32"
+    elif token.endswith("-f64"):
+        family, dtype_name = token[: -len("-f64")], "float64"
+    else:
+        family, dtype_name = token, "float64"
+    if family != "auto" and family not in _FAMILIES:
+        raise ValueError(
+            f"unknown decoder backend {name!r}; choose from {sorted(backend_names())}"
+        )
+    return BackendSpec(family, dtype_name)
+
+
+def resolve_backend(name: Union[str, BackendSpec], *, warn: bool = True) -> BackendSpec:
+    """Reduce a requested backend to the spec that will actually run.
+
+    ``auto`` picks numba when importable and numpy otherwise; an unavailable
+    family degrades to numpy at the same dtype (with a warning), so a config
+    written on a numba machine still runs — and is cached under the backend
+    that *really* produced the numbers.
+    """
+    spec = parse_backend_name(name) if isinstance(name, str) else name
+    if spec.family == "auto":
+        family = "numba" if _numba_available() else "numpy"
+        return BackendSpec(family, spec.dtype_name)
+    _factory, available = _FAMILIES[spec.family]
+    if not available():
+        if warn:
+            warnings.warn(
+                f"decoder backend {spec.name!r} is not available "
+                f"(missing dependency); falling back to numpy",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return BackendSpec("numpy", spec.dtype_name)
+    return spec
+
+
+def create_backend(
+    name: Union[str, BackendSpec, SisoBackend],
+    trellis: RscTrellis,
+    block_size: int,
+) -> SisoBackend:
+    """Instantiate the (resolved) backend for one constituent decoder."""
+    if isinstance(name, SisoBackend):
+        return name
+    spec = resolve_backend(name)
+    factory, _available = _FAMILIES[spec.family]
+    return factory(trellis, block_size, spec)
+
+
+__all__ = [
+    "BackendSpec",
+    "DEFAULT_BACKEND",
+    "NEG_INF",
+    "NumpySisoBackend",
+    "SisoBackend",
+    "available_backends",
+    "backend_names",
+    "create_backend",
+    "parse_backend_name",
+    "register_backend_family",
+    "resolve_backend",
+]

@@ -1,0 +1,161 @@
+"""Numba-JIT max-log-MAP kernel (optional).
+
+Importing this module requires :mod:`numba`; the registry only reaches it
+after :func:`repro.phy.turbo.backends._numba_available` has confirmed the
+import works, so environments without numba never touch this file.
+
+The kernel mirrors the numpy backend's arithmetic step for step (same
+operand order, no fastmath), so its output matches the numpy backend to the
+last bit in practice; the backend-equivalence suite still only asserts a
+small tolerance to stay robust against compiler differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.phy.turbo.backends.base import NEG_INF, BackendSpec, SisoBackend
+from repro.phy.turbo.trellis import RscTrellis
+
+
+@njit(cache=True, fastmath=False)
+def _siso_kernel(
+    combined,
+    half_par,
+    prev_state,
+    prev_input,
+    next_state,
+    parity_sign,
+    out_app,
+    terminated_start,
+):  # pragma: no cover - requires numba
+    batch, k = combined.shape
+    num_states = prev_state.shape[0]
+    dtype = combined.dtype
+
+    alphas = np.empty((k + 1, batch, num_states), dtype=dtype)
+    for b in range(batch):
+        for s in range(num_states):
+            alphas[0, b, s] = 0.0 if not terminated_start else NEG_INF
+        if terminated_start:
+            alphas[0, b, 0] = 0.0
+
+    # Forward recursion.
+    for t in range(k):
+        for b in range(batch):
+            c = combined[b, t]
+            p = half_par[b, t]
+            norm = -np.inf
+            for s in range(num_states):
+                best = -np.inf
+                for j in range(2):
+                    sp = prev_state[s, j]
+                    u = prev_input[s, j]
+                    in_sign = 1.0 - 2.0 * u
+                    branch = c * in_sign + p * parity_sign[sp, u]
+                    cand = alphas[t, b, sp] + branch
+                    if cand > best:
+                        best = cand
+                if best > norm:
+                    norm = best
+                alphas[t + 1, b, s] = best
+            for s in range(num_states):
+                alphas[t + 1, b, s] -= norm
+
+    # Backward recursion with on-the-fly LLR computation.
+    beta = np.zeros((batch, num_states), dtype=dtype)
+    beta_next = np.empty(num_states, dtype=dtype)
+    for t in range(k - 1, -1, -1):
+        for b in range(batch):
+            c = combined[b, t]
+            p = half_par[b, t]
+            best0 = -np.inf
+            best1 = -np.inf
+            for s in range(num_states):
+                for u in range(2):
+                    in_sign = 1.0 - 2.0 * u
+                    branch = c * in_sign + p * parity_sign[s, u]
+                    bn = beta[b, next_state[s, u]]
+                    metric = (alphas[t, b, s] + branch) + bn
+                    if u == 0:
+                        if metric > best0:
+                            best0 = metric
+                    else:
+                        if metric > best1:
+                            best1 = metric
+            out_app[b, t] = best0 - best1
+            norm = -np.inf
+            for s in range(num_states):
+                best = -np.inf
+                for u in range(2):
+                    in_sign = 1.0 - 2.0 * u
+                    branch = c * in_sign + p * parity_sign[s, u]
+                    bn = beta[b, next_state[s, u]]
+                    cand = branch + bn
+                    if cand > best:
+                        best = cand
+                beta_next[s] = best
+                if best > norm:
+                    norm = best
+            for s in range(num_states):
+                beta[b, s] = beta_next[s] - norm
+
+    return out_app
+
+
+class NumbaSisoBackend(SisoBackend):
+    """JIT-compiled SISO kernel; requires :mod:`numba` at import time."""
+
+    def __init__(
+        self,
+        trellis: RscTrellis,
+        block_size: int,
+        spec: BackendSpec = BackendSpec("numba", "float64"),
+    ) -> None:
+        super().__init__(trellis, block_size, spec)
+        dtype = self.dtype
+        self._prev_state = trellis.prev_state.astype(np.int64)
+        self._prev_input = trellis.prev_input.astype(np.int64)
+        self._next_state = trellis.next_state.astype(np.int64)
+        self._parity_sign = (1.0 - 2.0 * trellis.parity.astype(np.float64)).astype(dtype)
+        self._scratch: dict = {}
+
+    def siso(
+        self,
+        sys_llrs: np.ndarray,
+        par_llrs: np.ndarray,
+        apriori_llrs: np.ndarray,
+        out: np.ndarray,
+        *,
+        terminated_start: bool = True,
+    ) -> np.ndarray:  # pragma: no cover - requires numba
+        batch, k = sys_llrs.shape
+        dtype = self.dtype
+        # One capacity-grown buffer pair per block size: early stopping
+        # shrinks batches call by call, so keying on the batch size itself
+        # would retain O(max_batch^2) memory over a worker's lifetime.
+        entry = self._scratch.get(k)
+        if entry is None or entry[0] < batch:
+            capacity = batch if entry is None else max(batch, 2 * entry[0])
+            entry = (
+                capacity,
+                np.empty((capacity, k), dtype=dtype),
+                np.empty((capacity, k), dtype=dtype),
+            )
+            self._scratch[k] = entry
+        combined, half_par = entry[1][:batch], entry[2][:batch]
+        np.add(sys_llrs, apriori_llrs, out=combined)
+        combined *= 0.5
+        np.multiply(par_llrs, 0.5, out=half_par)
+        _siso_kernel(
+            combined,
+            half_par,
+            self._prev_state,
+            self._prev_input,
+            self._next_state,
+            self._parity_sign,
+            out,
+            terminated_start,
+        )
+        return out

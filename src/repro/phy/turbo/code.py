@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.phy.rate_matching import split_systematic_priority_buffer
+from repro.phy.rate_matching import split_systematic_priority_buffer_batch
 from repro.phy.turbo.decoder import TurboDecoder, TurboDecoderResult
 from repro.phy.turbo.encoder import TurboEncoder
 from repro.phy.turbo.trellis import RscTrellis, UMTS_TRELLIS
@@ -25,6 +25,8 @@ class TurboCode:
         Decoder iterations.
     interleaver_kind:
         Internal interleaver construction (``"qpp"`` or ``"random"``).
+    backend:
+        Decoder backend name (see :mod:`repro.phy.turbo.backends`).
     """
 
     block_size: int
@@ -32,6 +34,7 @@ class TurboCode:
     interleaver_kind: str = "qpp"
     trellis: RscTrellis = field(default_factory=lambda: UMTS_TRELLIS)
     extrinsic_scale: float = 0.75
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.block_size, "block_size")
@@ -44,6 +47,7 @@ class TurboCode:
             trellis=self.trellis,
             interleaver=self.encoder.interleaver,
             extrinsic_scale=self.extrinsic_scale,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -78,10 +82,7 @@ class TurboCode:
             raise ValueError(
                 f"expected {self.num_coded_bits} LLRs per block, got {arr.shape[1]}"
             )
-        sys_llrs = np.empty((arr.shape[0], self.block_size))
-        par1 = np.empty_like(sys_llrs)
-        par2 = np.empty_like(sys_llrs)
-        for i in range(arr.shape[0]):
-            s, p1, p2 = split_systematic_priority_buffer(arr[i], self.block_size)
-            sys_llrs[i], par1[i], par2[i] = s, p1, p2
+        sys_llrs, par1, par2 = split_systematic_priority_buffer_batch(
+            arr, self.block_size
+        )
         return self.decoder.decode(sys_llrs, par1, par2)

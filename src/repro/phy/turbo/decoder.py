@@ -8,19 +8,28 @@ positive LLR rewards the bit-0 branches.
 Performance notes
 -----------------
 Monte-Carlo link simulation decodes many packets per operating point, so the
-component decoder is written to process a *batch* of packets simultaneously:
-all state metrics have shape ``(batch, num_states)`` and the Python-level
-loop only runs over the trellis length.  This keeps the per-packet cost low
-enough for the paper's figure sweeps without any compiled extension.
+decoder processes a *batch* of packets simultaneously and the hot
+forward/backward kernel is pluggable (see :mod:`repro.phy.turbo.backends`):
+the default vectorised numpy backend precomputes per-step branch metrics
+once and runs the trellis loop allocation-free; an optional numba backend
+JIT-compiles the same recursion.
+
+Early stopping is *per packet*: once a packet's hard decisions are stable
+over a full iteration its result is frozen and the packet leaves the active
+batch, so converged packets stop paying for the stragglers.  Every packet is
+decoded exactly as if it were alone in the batch — the property that lets
+the link layer aggregate packets from many work items into one decoder call
+without changing any result.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.phy.turbo.backends import SisoBackend, create_backend
 from repro.phy.turbo.interleaver import TurboInterleaver, make_turbo_interleaver
 from repro.phy.turbo.trellis import RscTrellis, UMTS_TRELLIS
 from repro.utils.validation import ensure_positive_int
@@ -37,106 +46,22 @@ class TurboDecoderResult:
     decoded_bits:
         Hard decisions, shape ``(batch, block_size)``, dtype ``int8``.
     app_llrs:
-        A-posteriori LLRs of the information bits, same shape.
+        A-posteriori LLRs of the information bits, same shape (float64
+        regardless of the backend's compute dtype).
     iterations_run:
-        Number of full iterations executed (early stopping may cut this
-        short for the whole batch).
+        Number of full iterations executed by the slowest packet in the
+        batch (per-packet early stopping freezes faster packets earlier).
     converged:
         Boolean per-batch-element flag: hard decisions stable over the last
-        iteration.
+        iteration the packet participated in.  With ``num_iterations == 1``
+        stability is measured against the pre-iteration (channel LLR) hard
+        decisions.
     """
 
     decoded_bits: np.ndarray
     app_llrs: np.ndarray
     iterations_run: int
     converged: np.ndarray
-
-
-class _SisoDecoder:
-    """Soft-in/soft-out max-log-MAP decoder for one RSC constituent code."""
-
-    def __init__(self, trellis: RscTrellis, block_size: int) -> None:
-        self.trellis = trellis
-        self.block_size = block_size
-        # Antipodal parity values per (state, input): +1 for bit 0, -1 for bit 1.
-        self._parity_sign = (1.0 - 2.0 * trellis.parity.astype(np.float64))
-        self._input_sign = np.array([1.0, -1.0])
-        self._next_state = trellis.next_state
-        self._prev_state = trellis.prev_state
-        self._prev_input = trellis.prev_input
-
-    def decode(
-        self,
-        sys_llrs: np.ndarray,
-        par_llrs: np.ndarray,
-        apriori_llrs: np.ndarray,
-        *,
-        terminated_start: bool = True,
-    ) -> np.ndarray:
-        """Return a-posteriori LLRs for the information bits.
-
-        All inputs have shape ``(batch, block_size)``.
-        """
-        batch, k = sys_llrs.shape
-        num_states = self.trellis.num_states
-
-        # Branch metric components.
-        # gamma[b, t, s, u] = 0.5 * (input_sign[u] * (Lsys + La) + parity_sign[s, u] * Lpar)
-        combined = 0.5 * (sys_llrs + apriori_llrs)  # (batch, k)
-        half_par = 0.5 * par_llrs  # (batch, k)
-
-        # Forward recursion (store all alphas).
-        alphas = np.empty((k + 1, batch, num_states), dtype=np.float64)
-        alpha = np.full((batch, num_states), _NEG_INF)
-        if terminated_start:
-            alpha[:, 0] = 0.0
-        else:
-            alpha[:, :] = 0.0
-        alphas[0] = alpha
-
-        prev_state = self._prev_state  # (S, 2)
-        prev_input = self._prev_input  # (S, 2)
-        next_state = self._next_state  # (S, 2)
-        parity_sign = self._parity_sign  # (S, 2)
-        input_sign = self._input_sign  # (2,)
-
-        # Precompute, for each target state s' and predecessor slot j:
-        #   the systematic sign and parity sign of the incoming branch.
-        in_sign_for_target = input_sign[prev_input]  # (S, 2)
-        par_sign_for_target = parity_sign[prev_state, prev_input]  # (S, 2)
-
-        for t in range(k):
-            c = combined[:, t][:, None, None]  # (batch, 1, 1)
-            p = half_par[:, t][:, None, None]
-            # Metric of the branch arriving at each (target state, slot).
-            branch = c * in_sign_for_target[None, :, :] + p * par_sign_for_target[None, :, :]
-            candidates = alpha[:, prev_state] + branch  # (batch, S, 2)
-            alpha = candidates.max(axis=2)
-            alpha -= alpha.max(axis=1, keepdims=True)
-            alphas[t + 1] = alpha
-
-        # Backward recursion with on-the-fly LLR computation.
-        beta = np.zeros((batch, num_states), dtype=np.float64)
-        app = np.empty((batch, k), dtype=np.float64)
-
-        in_sign_from_state = input_sign[None, :]  # (1, 2) broadcast over states
-        par_sign_from_state = parity_sign  # (S, 2)
-
-        for t in range(k - 1, -1, -1):
-            c = combined[:, t][:, None, None]
-            p = half_par[:, t][:, None, None]
-            # Branch metric leaving state s with input u.
-            branch = c * in_sign_from_state[None, :, :] + p * par_sign_from_state[None, :, :]
-            beta_next = beta[:, next_state]  # (batch, S, 2)
-            metric = alphas[t][:, :, None] + branch + beta_next  # (batch, S, 2)
-            best0 = metric[:, :, 0].max(axis=1)
-            best1 = metric[:, :, 1].max(axis=1)
-            app[:, t] = best0 - best1
-            # Update beta for time t.
-            beta = (branch + beta_next).max(axis=2)
-            beta -= beta.max(axis=1, keepdims=True)
-
-        return app
 
 
 class TurboDecoder:
@@ -153,12 +78,30 @@ class TurboDecoder:
     trellis:
         Constituent-code trellis.
     early_stopping:
-        If ``True`` (default), stop when the hard decisions of every packet in
-        the batch are unchanged over a full iteration.
+        If ``True`` (default), freeze each packet as soon as its hard
+        decisions are unchanged over ``stable_iterations`` consecutive full
+        iterations and shrink the active batch accordingly.
+    stable_iterations:
+        Number of consecutive stable full iterations required before a
+        packet is frozen.  The default of 2 makes the frozen output
+        provably equal to running one more iteration whenever the decisions
+        are at a fixed point, which keeps the decoder's results independent
+        of batch composition *and* matched to the reference whole-batch
+        stopping on the golden runs.
+    freeze_min_llr:
+        Min-LLR fast path: a packet whose decisions are stable over one
+        full iteration *and* whose smallest APP magnitude is at least this
+        value freezes immediately (the standard hardware min-LLR stopping
+        rule) — weakly-converged packets still wait for the
+        ``stable_iterations`` streak.  ``None`` disables the fast path.
     extrinsic_scale:
         Scaling applied to extrinsic information between half-iterations; a
         value slightly below 1 (0.75) compensates the optimism of the max-log
         approximation (standard practice in hardware decoders).
+    backend:
+        Backend name (``"numpy"``, ``"numpy-f32"``, ``"numba"``, ``"auto"``,
+        ...) or a pre-built :class:`~repro.phy.turbo.backends.SisoBackend`.
+        See :mod:`repro.phy.turbo.backends`.
     """
 
     def __init__(
@@ -169,16 +112,26 @@ class TurboDecoder:
         trellis: RscTrellis = UMTS_TRELLIS,
         *,
         early_stopping: bool = True,
+        stable_iterations: int = 2,
+        freeze_min_llr: Optional[float] = 2.0,
         extrinsic_scale: float = 0.75,
         interleaver: Optional[TurboInterleaver] = None,
+        backend: Union[str, SisoBackend] = "numpy",
     ) -> None:
         self.block_size = ensure_positive_int(block_size, "block_size")
         self.num_iterations = ensure_positive_int(num_iterations, "num_iterations")
         self.early_stopping = early_stopping
+        self.stable_iterations = ensure_positive_int(stable_iterations, "stable_iterations")
+        self.freeze_min_llr = None if freeze_min_llr is None else float(freeze_min_llr)
         self.extrinsic_scale = float(extrinsic_scale)
         self.trellis = trellis
         self.interleaver = interleaver or make_turbo_interleaver(block_size, interleaver_kind)
-        self._siso = _SisoDecoder(trellis, block_size)
+        self._siso = create_backend(backend, trellis, block_size)
+
+    @property
+    def backend(self) -> SisoBackend:
+        """The backend instance running the SISO kernel."""
+        return self._siso
 
     # ------------------------------------------------------------------ #
     def decode(
@@ -190,64 +143,106 @@ class TurboDecoder:
         """Decode one batch of code blocks.
 
         Each input is either 1-D (single block) or 2-D ``(batch, block_size)``.
+        Every row is decoded independently: batching (and per-packet early
+        stopping) never changes a row's output.
         """
-        sys_llrs = self._as_batch(systematic_llrs)
-        par1 = self._as_batch(parity1_llrs)
-        par2 = self._as_batch(parity2_llrs)
+        dtype = self._siso.dtype
+        sys_llrs = self._as_batch(systematic_llrs, dtype)
+        par1 = self._as_batch(parity1_llrs, dtype)
+        par2 = self._as_batch(parity2_llrs, dtype)
         batch, k = sys_llrs.shape
 
         perm = self.interleaver.permutation
         sys_interleaved = sys_llrs[:, perm]
 
-        extrinsic12 = np.zeros((batch, k), dtype=np.float64)  # from dec1 to dec2
-        previous_hard = None
-        app_llrs = sys_llrs.copy()
-        iterations_run = 0
+        # Full-batch outputs; active-row work arrays are compacted as
+        # packets converge.
+        app_llrs = np.zeros((batch, k), dtype=dtype)
         converged = np.zeros(batch, dtype=bool)
+        # Pre-iteration hard decisions: the reference the first iteration's
+        # stability check compares against.
+        previous_hard = sys_llrs < 0
+
+        active = np.arange(batch)
+        extrinsic12 = np.zeros((batch, k), dtype=dtype)  # from dec2 to dec1
+        app1 = np.empty((batch, k), dtype=dtype)
+        app2 = np.empty((batch, k), dtype=dtype)
+        apriori1 = np.empty((batch, k), dtype=dtype)
+        app_nat = np.empty((batch, k), dtype=dtype)
+        iterations_run = 0
+
+        sys_a, par1_a, par2_a, sys_i_a = sys_llrs, par1, par2, sys_interleaved
+        prev_hard_a = previous_hard
+        streak_a = np.zeros(batch, dtype=np.int64)
 
         for iteration in range(self.num_iterations):
             iterations_run = iteration + 1
+            n = active.size
 
             # --- Decoder 1: natural order ---------------------------------
-            apriori1 = np.zeros((batch, k), dtype=np.float64)
-            apriori1[:, perm] = extrinsic12  # de-interleave extrinsic from dec2
-            app1 = self._siso.decode(sys_llrs, par1, apriori1)
-            extrinsic1 = self.extrinsic_scale * (app1 - sys_llrs - apriori1)
+            ap1 = apriori1[:n]
+            ap1[:, perm] = extrinsic12[:n]  # de-interleave extrinsic from dec2
+            a1 = self._siso.siso(sys_a, par1_a, ap1, app1[:n])
+            extrinsic1 = self.extrinsic_scale * (a1 - sys_a - ap1)
 
             # --- Decoder 2: interleaved order ------------------------------
             apriori2 = extrinsic1[:, perm]
-            app2 = self._siso.decode(sys_interleaved, par2, apriori2, terminated_start=True)
-            extrinsic2 = self.extrinsic_scale * (app2 - sys_interleaved - apriori2)
-            extrinsic12 = extrinsic2
+            a2 = self._siso.siso(sys_i_a, par2_a, apriori2, app2[:n], terminated_start=True)
+            extrinsic12[:n] = self.extrinsic_scale * (a2 - sys_i_a - apriori2)
 
             # A-posteriori LLRs in natural order: the decoder-2 output already
             # contains the systematic channel LLR plus both extrinsics (via its
             # a-priori input), so mapping it back is the complete APP.
-            app_llrs = np.empty((batch, k), dtype=np.float64)
-            app_llrs[:, perm] = app2
+            nat = app_nat[:n]
+            nat[:, perm] = a2
+            app_llrs[active] = nat
 
-            hard = (app_llrs < 0).astype(np.int8)
-            if previous_hard is not None:
-                converged = np.all(hard == previous_hard, axis=1)
-                if self.early_stopping and converged.all():
-                    break
-            previous_hard = hard
+            hard = nat < 0
+            stable = np.all(hard == prev_hard_a, axis=1)
+            converged[active] = stable
+            prev_hard_a = hard
+
+            # Per-packet early stopping: freeze rows whose decisions were
+            # stable across `stable_iterations` consecutive full turbo
+            # iterations, or stable once with every APP magnitude above the
+            # min-LLR threshold.  The iteration-1 comparison against the
+            # channel decisions never counts, so the freeze point depends
+            # only on the row's own trajectory.
+            if iteration >= 1:
+                streak_a = np.where(stable, streak_a + 1, 0)
+                if self.early_stopping:
+                    frozen = streak_a >= self.stable_iterations
+                    if self.freeze_min_llr is not None:
+                        confident = np.abs(nat).min(axis=1) >= self.freeze_min_llr
+                        frozen |= stable & confident
+                    if frozen.any():
+                        keep = ~frozen
+                        if not keep.any():
+                            break
+                        active = active[keep]
+                        sys_a = sys_a[keep]
+                        par1_a = par1_a[keep]
+                        par2_a = par2_a[keep]
+                        sys_i_a = sys_i_a[keep]
+                        extrinsic12[: active.size] = extrinsic12[:n][keep]
+                        prev_hard_a = prev_hard_a[keep]
+                        streak_a = streak_a[keep]
 
         decoded = (app_llrs < 0).astype(np.int8)
         return TurboDecoderResult(
             decoded_bits=decoded,
-            app_llrs=app_llrs,
+            app_llrs=np.asarray(app_llrs, dtype=np.float64),
             iterations_run=iterations_run,
             converged=converged,
         )
 
     # ------------------------------------------------------------------ #
-    def _as_batch(self, llrs: np.ndarray) -> np.ndarray:
-        arr = np.asarray(llrs, dtype=np.float64)
+    def _as_batch(self, llrs: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        arr = np.asarray(llrs, dtype=dtype)
         if arr.ndim == 1:
             arr = arr[None, :]
         if arr.ndim != 2 or arr.shape[1] != self.block_size:
             raise ValueError(
                 f"expected shape (batch, {self.block_size}), got {arr.shape}"
             )
-        return arr
+        return np.ascontiguousarray(arr)

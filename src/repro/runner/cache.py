@@ -26,6 +26,21 @@ from repro.core.results import SweepTable, _jsonable
 CACHE_FORMAT_VERSION = 1
 
 
+def decoder_backend_identity(requested: str) -> Dict[str, str]:
+    """The cache-key contribution of a requested decoder backend.
+
+    Resolves the request to the backend that will *actually* run on this
+    machine (``auto`` detection, numba-to-numpy fallback) and records its
+    name **and** compute dtype, so results produced by different backends
+    or precisions are never conflated — and a request that silently fell
+    back to numpy shares the numpy entry instead of poisoning the numba one.
+    """
+    from repro.phy.turbo.backends import resolve_backend
+
+    spec = resolve_backend(requested, warn=False)
+    return {"name": spec.name, "dtype": spec.dtype_name}
+
+
 def config_digest(identity: Dict[str, Any]) -> str:
     """Stable hex digest of a run-identity mapping (the cache key)."""
     canonical = json.dumps(canonicalize(identity), sort_keys=True)

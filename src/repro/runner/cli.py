@@ -26,10 +26,21 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.experiments.scales import SCALES, get_scale
-from repro.runner.cache import ResultCache, config_digest, serialize_payload
+from repro.phy.turbo.backends import backend_names
+from repro.runner.cache import (
+    ResultCache,
+    config_digest,
+    decoder_backend_identity,
+    serialize_payload,
+)
 from repro.runner.parallel import ParallelRunner
 from repro.runner.registry import EXPERIMENTS, run_experiment
-from repro.runner.tasks import LinkChunkTask, count_block_errors
+from repro.runner.tasks import (
+    LinkChunkTask,
+    count_block_errors,
+    count_block_errors_batched,
+    resolve_adaptive,
+)
 
 #: Default cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -37,6 +48,8 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 DEFAULT_SEED = 2012
 #: Experiments snapshotted by the golden-seed regression suite (all of them).
 GOLDEN_EXPERIMENTS = tuple(EXPERIMENTS)
+#: Fault-map sweeps that support ``--adaptive`` early stopping.
+ADAPTIVE_EXPERIMENTS = ("fig6", "fig7", "fig8", "fig9")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +74,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR))
     run_p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     run_p.add_argument("--force", action="store_true", help="recompute even on a cache hit")
+    run_p.add_argument(
+        "--decoder-backend",
+        default=None,
+        choices=sorted(backend_names()),
+        help="turbo-decoder backend (default: the deterministic numpy kernel)",
+    )
+    run_p.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="stop confidently-resolved sweep points before the full packet budget "
+        "(fault-map experiments only)",
+    )
 
     sub.add_parser("list", help="list experiments and scale presets")
 
@@ -98,9 +123,31 @@ def run_identity(experiment: str, scale_name: str, seed: int, kwargs: Dict[str, 
     Besides the scale *name*, the identity hashes the resolved scale
     parameters and the derived link configuration, so editing a preset (or a
     ``LinkConfig`` default) invalidates stale cache entries instead of
-    silently serving pre-change results.
+    silently serving pre-change results.  A requested decoder backend is
+    replaced by the backend that will *actually* run — name and compute
+    dtype (see :func:`repro.runner.cache.decoder_backend_identity`) — so
+    results from different backends are never conflated, while a numba
+    request that falls back to numpy shares the numpy entry.
     """
     scale = get_scale(scale_name)
+    kwargs = dict(kwargs)
+    if kwargs.get("decoder_backend") is not None:
+        resolved_backend = decoder_backend_identity(kwargs["decoder_backend"])
+        if resolved_backend == decoder_backend_identity("numpy"):
+            # An explicit request for the default backend (or a numba request
+            # that fell back to it) computes byte-identical results — share
+            # the default cache entry instead of recomputing it.
+            del kwargs["decoder_backend"]
+        else:
+            kwargs["decoder_backend"] = resolved_backend
+    if "adaptive" in kwargs:
+        # Hash the resolved stopping parameters, not the literal flag, so a
+        # change to the AdaptiveStopping defaults invalidates stale entries.
+        resolved_adaptive = resolve_adaptive(kwargs["adaptive"])
+        if resolved_adaptive is None:
+            del kwargs["adaptive"]
+        else:
+            kwargs["adaptive"] = resolved_adaptive
     return {
         "experiment": experiment,
         "scale": scale_name,
@@ -156,6 +203,21 @@ def serialize_from_cache(payload: Dict[str, Any]) -> str:
 # --------------------------------------------------------------------------- #
 def _cmd_run(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    kwargs: Dict[str, Any] = {}
+    if args.decoder_backend is not None:
+        kwargs["decoder_backend"] = args.decoder_backend
+    if args.adaptive:
+        kwargs["adaptive"] = True
+    if kwargs and not EXPERIMENTS[args.experiment].stochastic:
+        flags = ", ".join(sorted(kwargs))
+        raise ValueError(
+            f"{args.experiment} is analytical and does not simulate the link; "
+            f"{flags} does not apply"
+        )
+    if kwargs.get("adaptive") and args.experiment not in ADAPTIVE_EXPERIMENTS:
+        raise ValueError(
+            f"--adaptive applies to the fault-map sweeps {list(ADAPTIVE_EXPERIMENTS)}"
+        )
     payload = experiment_payload(
         args.experiment,
         args.scale,
@@ -163,6 +225,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=cache,
         force=args.force,
+        **kwargs,
     )
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
@@ -217,6 +280,7 @@ def _cmd_bler(args: argparse.Namespace) -> int:
         relative_error=args.relative_error,
         bler_floor=args.bler_floor,
         max_trials=args.max_packets,
+        map_chunks=count_block_errors_batched,
     )
     estimate = outcome.estimate
     print(

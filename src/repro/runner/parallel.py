@@ -146,6 +146,9 @@ class ParallelRunner:
         chunks_per_round: int = 4,
         min_trials: int = 32,
         max_trials: Optional[int] = None,
+        map_chunks: Optional[
+            Callable[["ParallelRunner", List[TaskT]], Sequence[Tuple[int, int]]]
+        ] = None,
     ) -> AdaptiveEstimate:
         """Estimate a proportion (e.g. BLER), stopping once it is confident.
 
@@ -157,6 +160,13 @@ class ParallelRunner:
             result) is independent of the worker count.
         fn:
             Executes one chunk and returns ``(errors, trials)``.
+        map_chunks:
+            Optional round executor replacing the default ``self.map(fn,
+            chunks)`` — e.g. to pool a round's chunks into cross-work-item
+            decode batches (see :mod:`repro.runner.tasks`).  Must return one
+            ``(errors, trials)`` pair per chunk, in chunk order; because a
+            round's membership is fixed before execution, pooling cannot
+            change the stopping decision.
         confidence, relative_error:
             Stop once the Wilson interval's half-width is at most
             ``relative_error`` times the estimate (with at least one error
@@ -187,7 +197,12 @@ class ParallelRunner:
         stop_reason = "budget"
         while True:
             chunk_tasks = [make_task(num_chunks + i) for i in range(chunks_per_round)]
-            for chunk_errors, chunk_trials in self.map(fn, chunk_tasks):
+            round_counts = (
+                map_chunks(self, chunk_tasks)
+                if map_chunks is not None
+                else self.map(fn, chunk_tasks)
+            )
+            for chunk_errors, chunk_trials in round_counts:
                 errors += int(chunk_errors)
                 trials += int(chunk_trials)
             num_chunks += len(chunk_tasks)

@@ -18,7 +18,7 @@ costs one construction per worker process, not one per task.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.core.fault_simulator import FaultSimulationPoint
 from repro.core.protection import ProtectionScheme
 from repro.harq.metrics import HarqStatistics, merge_statistics
 from repro.link.config import LinkConfig
-from repro.link.system import HspaLikeLink
+from repro.link.system import HspaLikeLink, PacketGroup, simulate_packet_groups
 from repro.utils.rng import keyed_seed_sequence
 
 #: Per-process cache of constructed link simulators, keyed by configuration.
@@ -48,6 +48,13 @@ def _cached_link(config: LinkConfig, use_rake: bool = False) -> HspaLikeLink:
 #: is a constant of the experiment definition — never derived from the
 #: worker count.
 DEFAULT_CHUNK_PACKETS = 8
+
+#: Target decode-batch width of the cross-work-item aggregation layer:
+#: consecutive tasks are pooled until their packets add up to roughly this
+#: many.  Purely a throughput knob — grouping can never change results,
+#: because every task keeps its own seed stream and the decoder treats
+#: batch rows independently.
+DEFAULT_AGGREGATE_PACKETS = 32
 
 
 def split_packets(num_packets: int, chunk_packets: int = DEFAULT_CHUNK_PACKETS) -> List[int]:
@@ -81,16 +88,95 @@ class LinkChunkTask:
 
 def simulate_link_chunk(task: LinkChunkTask) -> HarqStatistics:
     """Run one :class:`LinkChunkTask` and return its aggregate statistics."""
-    link = _cached_link(task.config, task.use_rake)
-    seed = keyed_seed_sequence(task.entropy, task.key)
-    result = link.simulate_packets(task.num_packets, task.snr_db, seed)
-    return result.statistics
+    return simulate_link_chunk_batch((task,))[0]
+
+
+def simulate_link_chunk_batch(tasks: Sequence[LinkChunkTask]) -> List[HarqStatistics]:
+    """Run several link chunks with shared (cross-work-item) decoder calls.
+
+    All tasks must share a link configuration; each keeps its own seed
+    stream and SNR point, so the per-task statistics are bit-identical to
+    running the tasks one by one — pooling only widens the decode batches.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    link = _require_shared_link(tasks)
+    groups = [
+        PacketGroup(
+            num_packets=task.num_packets,
+            snr_db=task.snr_db,
+            rng=keyed_seed_sequence(task.entropy, task.key),
+        )
+        for task in tasks
+    ]
+    return [result.statistics for result in simulate_packet_groups(link, groups)]
 
 
 def count_block_errors(task: LinkChunkTask) -> Tuple[int, int]:
     """Run one chunk and return ``(block_errors, packets)`` for adaptive stopping."""
     statistics = simulate_link_chunk(task)
     return statistics.num_packets - statistics.num_successful, statistics.num_packets
+
+
+def count_block_errors_batched(runner, tasks: Sequence[LinkChunkTask]) -> List[Tuple[int, int]]:
+    """Round executor for adaptive BLER runs with cross-chunk decode pooling.
+
+    Drop-in ``map_chunks`` argument for
+    :meth:`~repro.runner.parallel.ParallelRunner.run_adaptive_proportion`:
+    pools the round's chunks into aggregated decode batches and returns one
+    ``(block_errors, packets)`` pair per chunk, in chunk order.
+    """
+    counts: List[Tuple[int, int]] = []
+    groups = group_tasks_for_batching(tasks)
+    for statistics_list in runner.map(simulate_link_chunk_batch, groups):
+        counts.extend(
+            (s.num_packets - s.num_successful, s.num_packets) for s in statistics_list
+        )
+    return counts
+
+
+def _require_shared_link(tasks: Sequence) -> HspaLikeLink:
+    """The cached link of a task batch, asserting one shared configuration."""
+    first = tasks[0]
+    for task in tasks[1:]:
+        if task.config != first.config or task.use_rake != first.use_rake:
+            raise ValueError(
+                "aggregated tasks must share one link configuration; "
+                "group them with group_tasks_for_batching first"
+            )
+    return _cached_link(first.config, first.use_rake)
+
+
+def group_tasks_for_batching(
+    tasks: Sequence, aggregate_packets: int = DEFAULT_AGGREGATE_PACKETS
+) -> List[Tuple]:
+    """Pool consecutive compatible tasks into decode-aggregation groups.
+
+    Consecutive tasks sharing a ``(config, use_rake)`` pair are grouped
+    until their packet budgets add up to *aggregate_packets* (each group
+    holds at least one task).  Order is preserved, so flattening the
+    grouped results reproduces the task-order contract of
+    :meth:`~repro.runner.parallel.ParallelRunner.map`.
+    """
+    if aggregate_packets <= 0:
+        raise ValueError(f"aggregate_packets must be positive, got {aggregate_packets}")
+    groups: List[Tuple] = []
+    current: List = []
+    current_packets = 0
+    for task in tasks:
+        compatible = (
+            not current
+            or (task.config == current[0].config and task.use_rake == current[0].use_rake)
+        )
+        if current and (not compatible or current_packets >= aggregate_packets):
+            groups.append(tuple(current))
+            current, current_packets = [], 0
+        current.append(task)
+        current_packets += task.num_packets
+    if current:
+        groups.append(tuple(current))
+    return groups
 
 
 # --------------------------------------------------------------------------- #
@@ -133,7 +219,11 @@ class FaultMapOutcome:
 
 def simulate_fault_map(task: FaultMapTask) -> FaultMapOutcome:
     """Run one :class:`FaultMapTask` and return the die's outcome."""
-    link = _cached_link(task.config, task.use_rake)
+    return simulate_fault_map_batch((task,))[0]
+
+
+def _fault_map_group(link: HspaLikeLink, task: FaultMapTask) -> Tuple[PacketGroup, int, int]:
+    """Build one die's packet group (fault map installed) from its task."""
     fallible = task.protection.unprotected_cells(task.config.llr_storage_words)
     if task.defect_rate < 0:
         raise ValueError("defect_rate must be non-negative")
@@ -148,12 +238,41 @@ def simulate_fault_map(task: FaultMapTask) -> FaultMapOutcome:
     def buffer_factory(_index: int):
         return link.make_buffer(fault_map=fault_map, ecc=ecc)
 
-    result = link.simulate_packets(
-        task.num_packets, task.snr_db, sim_seed, buffer_factory=buffer_factory
+    group = PacketGroup(
+        num_packets=task.num_packets,
+        snr_db=task.snr_db,
+        rng=sim_seed,
+        buffer_factory=buffer_factory,
     )
-    return FaultMapOutcome(
-        statistics=result.statistics, num_faults=num_faults, fallible_cells=fallible
-    )
+    return group, num_faults, fallible
+
+
+def simulate_fault_map_batch(tasks: Sequence[FaultMapTask]) -> List[FaultMapOutcome]:
+    """Run several dies' fault-map tasks with shared decoder calls.
+
+    This is the cross-work-item aggregation path of the Fig. 6-9 sweeps:
+    each die keeps its own fault map, seed stream and soft buffers, while
+    all packets at the same HARQ combining state — across every die in the
+    batch — are decoded in one turbo-decoder call.  Per-die outcomes are
+    bit-identical to running the tasks one by one.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    link = _require_shared_link(tasks)
+    groups: List[PacketGroup] = []
+    bookkeeping: List[Tuple[int, int]] = []
+    for task in tasks:
+        group, num_faults, fallible = _fault_map_group(link, task)
+        groups.append(group)
+        bookkeeping.append((num_faults, fallible))
+    results = simulate_packet_groups(link, groups)
+    return [
+        FaultMapOutcome(
+            statistics=result.statistics, num_faults=num_faults, fallible_cells=fallible
+        )
+        for result, (num_faults, fallible) in zip(results, bookkeeping)
+    ]
 
 
 def merge_fault_outcomes(
@@ -207,6 +326,66 @@ class GridPoint:
     defect_rate: float
 
 
+@dataclass(frozen=True)
+class AdaptiveStopping:
+    """Configuration of adaptive (early) stopping for fault-map sweeps.
+
+    Each grid point keeps scheduling fixed-size die chunks — in rounds, so
+    the stopping decision never depends on the worker count — until its
+    block-error proportion is confidently resolved or the packet budget for
+    the smallest BLER of interest is spent.  High-SNR points (few or no
+    errors) therefore stop after a fraction of the fixed budget.
+
+    Attributes
+    ----------
+    confidence, relative_error:
+        Wilson-interval target: stop once the half-width is at most
+        ``relative_error`` times the estimate.
+    bler_floor:
+        Smallest BLER worth resolving; error-free points stop once the
+        :func:`~repro.core.montecarlo.required_packets_for_bler` budget for
+        this floor is spent.
+    chunks_per_round:
+        Dies scheduled per decision round (the deterministic quantum).
+    min_trials:
+        Soft floor on packets before the confidence test may stop the point.
+    max_trials:
+        Hard packet ceiling per point; ``None`` uses the scale's fixed
+        packet budget, so adaptive mode never simulates more than the
+        fixed-schedule sweep at any point.
+    """
+
+    confidence: float = 0.95
+    relative_error: float = 0.3
+    bler_floor: float = 0.05
+    chunks_per_round: int = 4
+    min_trials: int = 16
+    max_trials: Optional[int] = None
+
+
+def resolve_adaptive(value) -> Optional[AdaptiveStopping]:
+    """Normalise a driver's ``adaptive`` keyword.
+
+    Accepts ``None``/``False`` (fixed schedule), ``True`` (defaults) or an
+    :class:`AdaptiveStopping` instance.
+    """
+    if value is None or value is False:
+        return None
+    if value is True:
+        return AdaptiveStopping()
+    if isinstance(value, AdaptiveStopping):
+        return value
+    raise TypeError(
+        f"adaptive must be None, a bool or AdaptiveStopping, got {type(value).__name__}"
+    )
+
+
+def _fault_outcome_errors(outcome: FaultMapOutcome) -> Tuple[int, int]:
+    """Project one die's outcome to ``(block_errors, packets)``."""
+    statistics = outcome.statistics
+    return statistics.num_packets - statistics.num_successful, statistics.num_packets
+
+
 def run_fault_map_grid(
     runner,
     points: Sequence[GridPoint],
@@ -215,14 +394,40 @@ def run_fault_map_grid(
     num_fault_maps: int,
     entropy: int,
     use_rake: bool = False,
+    aggregate_packets: int = DEFAULT_AGGREGATE_PACKETS,
+    adaptive: Optional[AdaptiveStopping] = None,
 ) -> List[FaultSimulationPoint]:
     """Evaluate a whole sweep grid and return one merged point per entry.
 
     This owns the task-order/slicing invariant shared by the Fig. 6-9
     drivers: tasks are laid out point-major (``num_fault_maps`` consecutive
-    tasks per grid point), executed in one :meth:`ParallelRunner.map` call,
-    and reduced back in the same order.
+    tasks per grid point) and reduced back in the same order.  Work items
+    are pooled into cross-work-item decode batches of roughly
+    *aggregate_packets* packets (see :func:`group_tasks_for_batching`) —
+    a pure throughput knob that never changes results.
+
+    With *adaptive*, each point instead schedules die chunks in rounds
+    until its BLER is confidently resolved (or the budget is spent), so
+    high-SNR points stop early.  Adaptive runs simulate a
+    schedule-dependent number of dies per point and are therefore a
+    distinct experiment identity (drivers expose it as a keyword that is
+    hashed into the cache key).
     """
+    if adaptive is not None:
+        return [
+            _run_adaptive_point(
+                runner,
+                point,
+                num_packets=num_packets,
+                num_fault_maps=num_fault_maps,
+                entropy=entropy,
+                use_rake=use_rake,
+                adaptive=adaptive,
+                aggregate_packets=aggregate_packets,
+            )
+            for point in points
+        ]
+
     tasks: List[FaultMapTask] = []
     for point in points:
         tasks.extend(
@@ -238,7 +443,10 @@ def run_fault_map_grid(
                 use_rake=use_rake,
             )
         )
-    outcomes = runner.map(simulate_fault_map, tasks)
+    task_groups = group_tasks_for_batching(tasks, aggregate_packets)
+    outcomes: List[FaultMapOutcome] = []
+    for group_result in runner.map(simulate_fault_map_batch, task_groups):
+        outcomes.extend(group_result)
     return [
         merge_fault_outcomes(
             outcomes[index * num_fault_maps : (index + 1) * num_fault_maps],
@@ -247,6 +455,80 @@ def run_fault_map_grid(
         )
         for index, point in enumerate(points)
     ]
+
+
+def _run_adaptive_point(
+    runner,
+    point: GridPoint,
+    *,
+    num_packets: int,
+    num_fault_maps: int,
+    entropy: int,
+    use_rake: bool,
+    adaptive: AdaptiveStopping,
+    aggregate_packets: int = DEFAULT_AGGREGATE_PACKETS,
+) -> FaultSimulationPoint:
+    """Adaptively estimate one grid point, one round of die chunks at a time.
+
+    Die ``m`` uses the same spawn key as the fixed schedule
+    (``key_prefix + (m,)``), so the first ``num_fault_maps`` dies coincide
+    with the fixed sweep's dies; adaptive mode only decides *how many* of
+    them (and, for hard points, how many extra dies) to run.  Each round's
+    dies are pooled into cross-work-item decode batches exactly like the
+    fixed path — which dies run depends only on round membership, so
+    neither grouping nor the worker count can change the result.
+    """
+    from repro.core.montecarlo import (
+        proportion_confidence_interval,
+        required_packets_for_bler,
+    )
+
+    packets_per_map = max(1, num_packets // num_fault_maps)
+    budget = required_packets_for_bler(adaptive.bler_floor, adaptive.relative_error)
+    max_trials = adaptive.max_trials if adaptive.max_trials is not None else num_packets
+    min_trials = min(adaptive.min_trials, max_trials)
+    trial_ceiling = min(max_trials, budget)
+
+    outcomes: List[FaultMapOutcome] = []
+    errors = 0
+    trials = 0
+    num_dies = 0
+    while True:
+        # Never schedule past the trial ceiling: a round shrinks to however
+        # many dies the remaining budget still covers, so adaptive mode
+        # cannot simulate more than the fixed-schedule sweep at any point.
+        remaining_dies = -(-(trial_ceiling - trials) // packets_per_map)  # ceil
+        round_dies = max(1, min(adaptive.chunks_per_round, remaining_dies))
+        round_tasks = [
+            FaultMapTask(
+                config=point.config,
+                protection=point.protection,
+                snr_db=float(point.snr_db),
+                defect_rate=float(point.defect_rate),
+                num_packets=packets_per_map,
+                entropy=entropy,
+                key=point.key_prefix + (num_dies + i,),
+                use_rake=use_rake,
+            )
+            for i in range(round_dies)
+        ]
+        num_dies += len(round_tasks)
+        groups = group_tasks_for_batching(round_tasks, aggregate_packets)
+        for group_outcomes in runner.map(simulate_fault_map_batch, groups):
+            for outcome in group_outcomes:
+                outcomes.append(outcome)
+                chunk_errors, chunk_trials = _fault_outcome_errors(outcome)
+                errors += chunk_errors
+                trials += chunk_trials
+
+        if trials >= min_trials and errors > 0:
+            interval = proportion_confidence_interval(errors, trials, adaptive.confidence)
+            if interval.half_width <= adaptive.relative_error * interval.value:
+                break
+        if trials >= max_trials or trials >= budget:
+            break
+
+    return merge_fault_outcomes(outcomes, snr_db=point.snr_db, protection=point.protection)
 
 
 def fault_map_tasks_for_point(

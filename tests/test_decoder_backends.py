@@ -1,0 +1,233 @@
+"""Decoder-backend engine: registry, equivalence, early stopping, batching.
+
+The contracts pinned here are the ones the rest of the system builds on:
+
+* the registry resolves names, auto-detects numba and falls back cleanly;
+* every backend decodes rows independently (batch composition never changes
+  a row's output) — the invariant behind cross-work-item batch aggregation;
+* the float32 and numba paths agree with the default numpy/float64 backend
+  within tolerance;
+* ``converged`` is meaningful for ``num_iterations == 1`` (measured against
+  the pre-iteration hard decisions);
+* the result cache keys on the backend that actually ran (name + dtype).
+"""
+
+import numpy as np
+import pytest
+
+from repro.phy.turbo import TurboCode, TurboDecoder
+from repro.phy.turbo.backends import (
+    BackendSpec,
+    NumpySisoBackend,
+    available_backends,
+    backend_names,
+    create_backend,
+    parse_backend_name,
+    resolve_backend,
+)
+from repro.phy.turbo.trellis import UMTS_TRELLIS
+from repro.runner.cache import config_digest, decoder_backend_identity
+from repro.runner.cli import run_identity
+
+
+def _numba_available() -> bool:
+    return "numba" in available_backends()
+
+
+def _noisy_batch(code: TurboCode, batch: int, rng, amp: float = 2.0, sigmas=(0.6, 1.4, 2.4, 3.2)):
+    """Encode random payloads and add per-row noise of varying strength."""
+    k = code.block_size
+    rows = []
+    for i in range(batch):
+        bits = rng.integers(0, 2, k, dtype=np.int8)
+        coded = code.encode(bits)
+        noise = rng.normal(0.0, sigmas[i % len(sigmas)], coded.size)
+        rows.append((1.0 - 2.0 * coded.astype(np.float64)) * amp + noise)
+    llrs = np.stack(rows)
+    sys_llrs = llrs[:, :k]
+    par1 = np.ascontiguousarray(llrs[:, k::2])
+    par2 = np.ascontiguousarray(llrs[:, k + 1 :: 2])
+    return sys_llrs, par1, par2
+
+
+class TestRegistry:
+    def test_backend_names_include_families_and_auto(self):
+        names = backend_names()
+        assert "auto" in names and "numpy" in names and "numba" in names
+        assert "numpy-f32" in names
+
+    def test_parse_tokens(self):
+        assert parse_backend_name("numpy") == BackendSpec("numpy", "float64")
+        assert parse_backend_name("numpy-f32") == BackendSpec("numpy", "float32")
+        assert parse_backend_name("NUMPY-F64") == BackendSpec("numpy", "float64")
+        assert parse_backend_name("auto").family == "auto"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown decoder backend"):
+            parse_backend_name("cuda")
+
+    def test_auto_resolves_to_an_available_family(self):
+        spec = resolve_backend("auto")
+        assert spec.family in ("numpy", "numba")
+        if not _numba_available():
+            assert spec.family == "numpy"
+
+    def test_numba_falls_back_to_numpy_when_missing(self):
+        if _numba_available():
+            pytest.skip("numba present; fallback path not reachable")
+        with pytest.warns(RuntimeWarning, match="falling back to numpy"):
+            spec = resolve_backend("numba")
+        assert spec == BackendSpec("numpy", "float64")
+        # dtype is preserved through the fallback
+        assert resolve_backend("numba-f32", warn=False).dtype_name == "float32"
+
+    def test_create_backend_passes_instances_through(self):
+        backend = NumpySisoBackend(UMTS_TRELLIS, 40)
+        assert create_backend(backend, UMTS_TRELLIS, 40) is backend
+
+    def test_spec_names(self):
+        assert BackendSpec("numpy", "float64").name == "numpy"
+        assert BackendSpec("numba", "float32").name == "numba-f32"
+
+
+class TestBackendEquivalence:
+    def test_float32_matches_float64_decisions(self, rng):
+        code = TurboCode(120, num_iterations=4)
+        sys_llrs, par1, par2 = _noisy_batch(code, 12, rng)
+        d64 = TurboDecoder(120, 4, interleaver=code.encoder.interleaver)
+        d32 = TurboDecoder(120, 4, interleaver=code.encoder.interleaver, backend="numpy-f32")
+        r64 = d64.decode(sys_llrs, par1, par2)
+        r32 = d32.decode(sys_llrs, par1, par2)
+        assert r32.app_llrs.dtype == np.float64  # API dtype is stable
+        # Decisions agree on every confidently-decoded bit; APP magnitudes
+        # agree to float32 resolution.
+        confident = np.abs(r64.app_llrs) > 0.05
+        assert np.array_equal(
+            r64.decoded_bits[confident], r32.decoded_bits[confident]
+        )
+        scale = np.maximum(np.abs(r64.app_llrs), 1.0)
+        assert np.max(np.abs(r64.app_llrs - r32.app_llrs) / scale) < 1e-2
+
+    @pytest.mark.skipif(not _numba_available(), reason="numba not installed")
+    def test_numba_matches_numpy(self, rng):
+        code = TurboCode(96, num_iterations=4)
+        sys_llrs, par1, par2 = _noisy_batch(code, 8, rng)
+        ref = TurboDecoder(96, 4, interleaver=code.encoder.interleaver)
+        jit = TurboDecoder(96, 4, interleaver=code.encoder.interleaver, backend="numba")
+        r_ref = ref.decode(sys_llrs, par1, par2)
+        r_jit = jit.decode(sys_llrs, par1, par2)
+        assert np.array_equal(r_ref.decoded_bits, r_jit.decoded_bits)
+        np.testing.assert_allclose(r_ref.app_llrs, r_jit.app_llrs, rtol=1e-9, atol=1e-9)
+
+    def test_workspace_reuse_is_stateless(self, rng):
+        """Repeated calls through one backend instance give identical output."""
+        code = TurboCode(64, num_iterations=3)
+        decoder = TurboDecoder(64, 3, interleaver=code.encoder.interleaver)
+        sys_llrs, par1, par2 = _noisy_batch(code, 6, rng)
+        first = decoder.decode(sys_llrs, par1, par2)
+        second = decoder.decode(sys_llrs, par1, par2)
+        assert np.array_equal(first.app_llrs, second.app_llrs)
+        # Interleaving a different-shaped call must not corrupt the next one.
+        decoder.decode(sys_llrs[:2], par1[:2], par2[:2])
+        third = decoder.decode(sys_llrs, par1, par2)
+        assert np.array_equal(first.app_llrs, third.app_llrs)
+
+
+class TestBatchCompositionIndependence:
+    """The invariant behind cross-work-item decode aggregation."""
+
+    @pytest.mark.parametrize("backend", ["numpy", "numpy-f32"])
+    def test_rows_decode_identically_alone_and_batched(self, rng, backend):
+        code = TurboCode(88, num_iterations=5)
+        sys_llrs, par1, par2 = _noisy_batch(code, 10, rng)
+        batch_decoder = TurboDecoder(
+            88, 5, interleaver=code.encoder.interleaver, backend=backend
+        )
+        batched = batch_decoder.decode(sys_llrs, par1, par2)
+        for row in range(10):
+            solo = TurboDecoder(
+                88, 5, interleaver=code.encoder.interleaver, backend=backend
+            ).decode(sys_llrs[row], par1[row], par2[row])
+            assert np.array_equal(solo.app_llrs[0], batched.app_llrs[row]), row
+            assert np.array_equal(solo.decoded_bits[0], batched.decoded_bits[row]), row
+            assert solo.converged[0] == batched.converged[row], row
+
+    def test_early_stopping_shrinks_but_preserves_results(self, rng):
+        code = TurboCode(88, num_iterations=6)
+        sys_llrs, par1, par2 = _noisy_batch(code, 8, rng, sigmas=(0.4, 4.0))
+        eager = TurboDecoder(88, 6, interleaver=code.encoder.interleaver)
+        full = TurboDecoder(88, 6, interleaver=code.encoder.interleaver, early_stopping=False)
+        r_eager = eager.decode(sys_llrs, par1, par2)
+        r_full = full.decode(sys_llrs, par1, par2)
+        # Frozen packets keep the decisions they stabilised on.
+        assert np.array_equal(
+            r_eager.decoded_bits[r_eager.converged], r_full.decoded_bits[r_eager.converged]
+        )
+
+
+class TestConvergedFlag:
+    def test_single_iteration_reports_convergence(self, rng):
+        """Regression: with num_iterations == 1, stable decisions used to
+        report ``converged`` all-False."""
+        code = TurboCode(60, num_iterations=1)
+        # Essentially noise-free LLRs: one iteration decodes perfectly and
+        # the decisions match the channel hard decisions.
+        sys_llrs, par1, par2 = _noisy_batch(code, 4, rng, amp=8.0, sigmas=(0.05,))
+        result = TurboDecoder(60, 1, interleaver=code.encoder.interleaver).decode(
+            sys_llrs, par1, par2
+        )
+        assert result.iterations_run == 1
+        assert result.converged.all()
+
+    def test_single_iteration_garbage_not_converged(self, rng):
+        decoder = TurboDecoder(60, 1)
+        garbage = rng.normal(0.0, 1.0, (6, 60))
+        result = decoder.decode(garbage, rng.normal(size=(6, 60)), rng.normal(size=(6, 60)))
+        assert not result.converged.all()
+
+
+class TestCacheIdentity:
+    def test_backend_identity_records_name_and_dtype(self):
+        identity = decoder_backend_identity("numpy-f32")
+        assert identity == {"name": "numpy-f32", "dtype": "float32"}
+
+    def test_unavailable_numba_resolves_to_numpy_identity(self):
+        if _numba_available():
+            pytest.skip("numba present")
+        assert decoder_backend_identity("numba") == {"name": "numpy", "dtype": "float64"}
+
+    def test_run_identity_distinguishes_backends(self):
+        base = run_identity("fig6", "smoke", 2012, {})
+        f32 = run_identity("fig6", "smoke", 2012, {"decoder_backend": "numpy-f32"})
+        assert config_digest(base) != config_digest(f32)
+        assert f32["kwargs"]["decoder_backend"] == {
+            "name": "numpy-f32",
+            "dtype": "float32",
+        }
+
+    def test_run_identity_default_is_unchanged_by_backend_plumbing(self):
+        """The no-kwargs identity must keep matching the golden snapshots."""
+        identity = run_identity("fig6", "smoke", 2012, {})
+        assert identity["kwargs"] == {}
+        assert "decoder" not in identity["link_config"]
+
+    def test_explicit_default_backend_shares_the_default_cache_entry(self):
+        """Requesting numpy explicitly computes byte-identical results, so
+        it must hash to the same digest as omitting the flag."""
+        base = run_identity("fig6", "smoke", 2012, {})
+        explicit = run_identity("fig6", "smoke", 2012, {"decoder_backend": "numpy"})
+        assert config_digest(base) == config_digest(explicit)
+
+    def test_adaptive_identity_hashes_resolved_parameters(self):
+        """Changing AdaptiveStopping defaults must invalidate cache entries."""
+        from repro.runner.tasks import AdaptiveStopping
+
+        flag = run_identity("fig6", "smoke", 2012, {"adaptive": True})
+        default = run_identity("fig6", "smoke", 2012, {"adaptive": AdaptiveStopping()})
+        tighter = run_identity(
+            "fig6", "smoke", 2012, {"adaptive": AdaptiveStopping(relative_error=0.1)}
+        )
+        assert config_digest(flag) == config_digest(default)
+        assert config_digest(flag) != config_digest(tighter)
+        off = run_identity("fig6", "smoke", 2012, {"adaptive": False})
+        assert config_digest(off) == config_digest(run_identity("fig6", "smoke", 2012, {}))
