@@ -1,4 +1,10 @@
-"""``python -m repro`` — dispatch to the experiment runner CLI."""
+"""``python -m repro`` — dispatch to the experiment runner CLI.
+
+Subcommands include ``run`` (with ``--execution-backend
+serial|process|socket``), ``worker`` (the socket-distributed worker
+daemon), ``bler``, ``golden``, ``list`` and ``cache ls|clear``; see
+:mod:`repro.runner.cli`.
+"""
 
 import sys
 

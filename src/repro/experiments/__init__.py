@@ -4,8 +4,10 @@ Every driver exposes a ``run(scale=..., seed=..., runner=...)`` function
 returning a :class:`~repro.core.results.SweepTable` (or a dict of tables)
 with exactly the series the corresponding figure plots.  Drivers decompose
 their sweeps into keyed-seed work items executed by a
-:class:`~repro.runner.parallel.ParallelRunner` (serial by default), so any
-worker count reproduces the same numbers; the unified CLI lives at
+:class:`~repro.runner.parallel.ParallelRunner` (serial by default; the
+``runner`` argument also accepts an execution-backend name such as
+``"process"`` or ``"socket"``), so any worker count and any execution
+backend reproduce the same numbers; the unified CLI lives at
 ``python -m repro`` (see :mod:`repro.runner`).  The benchmark harness under
 ``benchmarks/`` calls these drivers at the ``"smoke"`` scale; the
 ``"paper"`` scale produces smoother curves for EXPERIMENTS.md.

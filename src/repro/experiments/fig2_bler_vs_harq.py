@@ -17,7 +17,7 @@ from typing import Optional, Union
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
 from repro.harq.metrics import merge_statistics
-from repro.runner.parallel import ParallelRunner
+from repro.runner.parallel import ParallelRunner, runner_scope
 from repro.runner.tasks import (
     LinkChunkTask,
     group_tasks_for_batching,
@@ -34,7 +34,7 @@ def run(
     scale: Union[str, Scale] = "smoke",
     seed: RngLike = 2012,
     snr_regimes_db=SNR_REGIMES_DB,
-    runner: Optional[ParallelRunner] = None,
+    runner: Union[ParallelRunner, str, None] = None,
     decoder_backend: Optional[str] = None,
 ) -> SweepTable:
     """Run the Fig. 2 experiment and return its data table.
@@ -48,10 +48,11 @@ def run(
     snr_regimes_db:
         The three SNR regimes to simulate.
     runner:
-        Execution strategy; defaults to in-process serial.  The packet
-        budget of each regime is sharded into fixed chunks seeded by
-        ``(regime, chunk)`` spawn keys, so results do not depend on the
-        worker count.
+        Execution strategy: a :class:`ParallelRunner`, an execution-backend
+        name (``"serial"``, ``"process"``, ``"socket"``) or ``None``
+        (in-process serial).  The packet budget of each regime is sharded
+        into fixed chunks seeded by ``(regime, chunk)`` spawn keys, so
+        results depend on neither the worker count nor the backend.
 
     Returns
     -------
@@ -61,7 +62,6 @@ def run(
     """
     resolved = get_scale(scale)
     config = resolved.link_config(decoder_backend=decoder_backend)
-    runner = runner or ParallelRunner.serial()
     entropy = resolve_entropy(seed)
 
     regimes = [float(snr) for snr in snr_regimes_db]
@@ -80,11 +80,14 @@ def run(
     # Chunks are pooled into cross-work-item decode batches; flattening the
     # grouped results restores task order, so the reduction below is
     # unchanged from the per-task path.
-    chunk_statistics = [
-        statistics
-        for batch in runner.map(simulate_link_chunk_batch, group_tasks_for_batching(tasks))
-        for statistics in batch
-    ]
+    with runner_scope(runner) as active_runner:
+        chunk_statistics = [
+            statistics
+            for batch in active_runner.map(
+                simulate_link_chunk_batch, group_tasks_for_batching(tasks)
+            )
+            for statistics in batch
+        ]
 
     table = SweepTable(
         title="Fig. 2 — decoding failure probability vs HARQ transmission",

@@ -29,8 +29,10 @@ def run(
     """Run the Fig. 3 experiment and return its data table.
 
     The *scale*, *seed* and *runner* parameters are accepted for interface
-    uniformity; the cell models are analytical so the result is
-    deterministic and cheap.
+    uniformity (*runner* may be a
+    :class:`~repro.runner.parallel.ParallelRunner`, an execution-backend
+    name, or ``None``); the cell models are analytical so the result is
+    deterministic and cheap — no work items are ever scheduled.
     """
     get_scale(scale)  # validate the name even though the scale is unused
     soft_errors = SoftErrorModel()

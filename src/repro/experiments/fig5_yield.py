@@ -42,7 +42,10 @@ def run(
         curves and, per ``Pcell``, the accepted-defect fraction needed to hit
         the yield target.
     """
-    get_scale(scale)  # interface uniformity; the computation is analytical
+    # Interface uniformity: the computation is analytical, so *seed* and
+    # *runner* (a ParallelRunner, an execution-backend name, or None) are
+    # accepted but never used — no work items are scheduled.
+    get_scale(scale)
     defect_fractions = np.concatenate(
         [[0.0], np.logspace(-5, -1.3, 25)]
     )

@@ -17,7 +17,7 @@ from typing import Optional, Sequence, Union
 from repro.core.protection import NoProtection
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
-from repro.runner.parallel import ParallelRunner
+from repro.runner.parallel import ParallelRunner, runner_scope
 from repro.runner.tasks import GridPoint, resolve_adaptive, run_fault_map_grid
 from repro.utils.rng import RngLike, resolve_entropy
 
@@ -27,7 +27,7 @@ def run(
     seed: RngLike = 2012,
     defect_rates: Sequence[float] | None = None,
     snr_points_db: Sequence[float] | None = None,
-    runner: Optional[ParallelRunner] = None,
+    runner: Union[ParallelRunner, str, None] = None,
     decoder_backend: Optional[str] = None,
     adaptive=None,
 ) -> SweepTable:
@@ -37,7 +37,8 @@ def run(
     the Fig. 6(b) quantity (average number of transmissions).  The full
     (defect rate x SNR x fault map) grid is decomposed into one work item per
     die, seeded by its ``(rate, snr, map)`` coordinates, so any
-    :class:`~repro.runner.parallel.ParallelRunner` worker count reproduces
+    :class:`~repro.runner.parallel.ParallelRunner` worker count — and any
+    execution backend (*runner* also accepts a backend name) — reproduces
     the same table bit-for-bit.  *decoder_backend* selects the turbo-decoder
     kernel; *adaptive* (``True`` or an
     :class:`~repro.runner.tasks.AdaptiveStopping`) lets confidently-resolved
@@ -46,7 +47,6 @@ def run(
     resolved = get_scale(scale)
     config = resolved.link_config(decoder_backend=decoder_backend)
     protection = NoProtection(bits_per_word=config.llr_bits)
-    runner = runner or ParallelRunner.serial()
     entropy = resolve_entropy(seed)
 
     rates = [float(r) for r in (defect_rates if defect_rates is not None else resolved.defect_rates)]
@@ -62,14 +62,15 @@ def run(
         for rate_index in range(len(rates))
         for snr_index in range(len(snrs))
     ]
-    merged = run_fault_map_grid(
-        runner,
-        grid,
-        num_packets=resolved.num_packets,
-        num_fault_maps=resolved.num_fault_maps,
-        entropy=entropy,
-        adaptive=resolve_adaptive(adaptive),
-    )
+    with runner_scope(runner) as active_runner:
+        merged = run_fault_map_grid(
+            active_runner,
+            grid,
+            num_packets=resolved.num_packets,
+            num_fault_maps=resolved.num_fault_maps,
+            entropy=entropy,
+            adaptive=resolve_adaptive(adaptive),
+        )
 
     table = SweepTable(
         title="Fig. 6 — throughput and transmissions vs SNR for defect rates (unprotected 6T)",

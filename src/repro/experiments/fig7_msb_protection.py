@@ -14,7 +14,7 @@ from typing import Optional, Sequence, Union
 from repro.core.protection import msb_protection_scheme
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
-from repro.runner.parallel import ParallelRunner
+from repro.runner.parallel import ParallelRunner, runner_scope
 from repro.runner.tasks import GridPoint, resolve_adaptive, run_fault_map_grid
 from repro.utils.rng import RngLike, resolve_entropy
 
@@ -30,7 +30,7 @@ def run(
     defect_rate: float = 0.10,
     protected_bit_counts: Sequence[int] = DEFAULT_PROTECTED_BITS,
     snr_points_db: Sequence[float] | None = None,
-    runner: Optional[ParallelRunner] = None,
+    runner: Union[ParallelRunner, str, None] = None,
     decoder_backend: Optional[str] = None,
     adaptive=None,
 ) -> SweepTable:
@@ -42,7 +42,6 @@ def run(
     """
     resolved = get_scale(scale)
     config = resolved.link_config(decoder_backend=decoder_backend)
-    runner = runner or ParallelRunner.serial()
     entropy = resolve_entropy(seed)
     snrs = [float(s) for s in (snr_points_db if snr_points_db is not None else resolved.snr_points_db)]
     counts = [int(c) for c in protected_bit_counts]
@@ -58,14 +57,15 @@ def run(
         for count_index in range(len(counts))
         for snr_index in range(len(snrs))
     ]
-    merged = run_fault_map_grid(
-        runner,
-        grid,
-        num_packets=resolved.num_packets,
-        num_fault_maps=resolved.num_fault_maps,
-        entropy=entropy,
-        adaptive=resolve_adaptive(adaptive),
-    )
+    with runner_scope(runner) as active_runner:
+        merged = run_fault_map_grid(
+            active_runner,
+            grid,
+            num_packets=resolved.num_packets,
+            num_fault_maps=resolved.num_fault_maps,
+            entropy=entropy,
+            adaptive=resolve_adaptive(adaptive),
+        )
 
     table = SweepTable(
         title=f"Fig. 7 — throughput vs SNR protecting k MSBs (defects {defect_rate:.0%} in 6T cells)",
@@ -86,7 +86,7 @@ def run(
 def run_both_subfigures(
     scale: Union[str, Scale] = "smoke",
     seed: RngLike = 2012,
-    runner: Optional[ParallelRunner] = None,
+    runner: Union[ParallelRunner, str, None] = None,
 ) -> dict:
     """Run Fig. 7(a) (1 % defects) and Fig. 7(b) (10 % defects)."""
     return {

@@ -16,7 +16,7 @@ from repro.core.efficiency import ProtectionEfficiencyAnalysis, ProtectionEffici
 from repro.core.protection import msb_protection_scheme
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
-from repro.runner.parallel import ParallelRunner
+from repro.runner.parallel import ParallelRunner, runner_scope
 from repro.runner.tasks import GridPoint, resolve_adaptive, run_fault_map_grid
 from repro.utils.rng import RngLike, resolve_entropy
 
@@ -30,7 +30,7 @@ def run(
     snr_db: float = 14.0,
     defect_rate: float = 0.10,
     protected_bit_counts: Sequence[int] = DEFAULT_PROTECTED_BITS,
-    runner: Optional[ParallelRunner] = None,
+    runner: Union[ParallelRunner, str, None] = None,
     decoder_backend: Optional[str] = None,
     adaptive=None,
 ) -> dict:
@@ -50,7 +50,6 @@ def run(
     resolved = get_scale(scale)
     config = resolved.link_config(decoder_backend=decoder_backend)
     analysis = ProtectionEfficiencyAnalysis(config, num_fault_maps=resolved.num_fault_maps)
-    runner = runner or ParallelRunner.serial()
     entropy = resolve_entropy(seed)
     counts = [int(c) for c in protected_bit_counts]
 
@@ -74,14 +73,15 @@ def run(
         )
         for count_index, count in enumerate(counts)
     ]
-    merged = run_fault_map_grid(
-        runner,
-        grid,
-        num_packets=resolved.num_packets,
-        num_fault_maps=resolved.num_fault_maps,
-        entropy=entropy,
-        adaptive=resolve_adaptive(adaptive),
-    )
+    with runner_scope(runner) as active_runner:
+        merged = run_fault_map_grid(
+            active_runner,
+            grid,
+            num_packets=resolved.num_packets,
+            num_fault_maps=resolved.num_fault_maps,
+            entropy=entropy,
+            adaptive=resolve_adaptive(adaptive),
+        )
     reference = merged[0].normalized_throughput
     points = []
     for count, outcome in zip(counts, merged[1:]):

@@ -16,7 +16,7 @@ from repro.core.bitwidth import BitWidthAnalysis, BitWidthPoint
 from repro.core.protection import NoProtection
 from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
-from repro.runner.parallel import ParallelRunner
+from repro.runner.parallel import ParallelRunner, runner_scope
 from repro.runner.tasks import GridPoint, resolve_adaptive, run_fault_map_grid
 from repro.utils.rng import RngLike, resolve_entropy
 
@@ -30,7 +30,7 @@ def run(
     defect_rate: float = 0.10,
     llr_widths: Sequence[int] = DEFAULT_WIDTHS,
     snr_points_db: Sequence[float] | None = None,
-    runner: Optional[ParallelRunner] = None,
+    runner: Union[ParallelRunner, str, None] = None,
     decoder_backend: Optional[str] = None,
     adaptive=None,
 ) -> dict:
@@ -48,7 +48,6 @@ def run(
     resolved = get_scale(scale)
     base_config = resolved.link_config(decoder_backend=decoder_backend)
     analysis = BitWidthAnalysis(base_config, num_fault_maps=resolved.num_fault_maps)
-    runner = runner or ParallelRunner.serial()
     entropy = resolve_entropy(seed)
     widths = [int(w) for w in llr_widths]
     snrs = [float(s) for s in (snr_points_db if snr_points_db is not None else resolved.snr_points_db)]
@@ -64,14 +63,15 @@ def run(
         for width_index in range(len(widths))
         for snr_index in range(len(snrs))
     ]
-    merged_points = run_fault_map_grid(
-        runner,
-        grid,
-        num_packets=resolved.num_packets,
-        num_fault_maps=resolved.num_fault_maps,
-        entropy=entropy,
-        adaptive=resolve_adaptive(adaptive),
-    )
+    with runner_scope(runner) as active_runner:
+        merged_points = run_fault_map_grid(
+            active_runner,
+            grid,
+            num_packets=resolved.num_packets,
+            num_fault_maps=resolved.num_fault_maps,
+            entropy=entropy,
+            adaptive=resolve_adaptive(adaptive),
+        )
 
     points = []
     for grid_point, merged in zip(grid, merged_points):

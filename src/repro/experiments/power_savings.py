@@ -37,7 +37,9 @@ def run(
     Returns a table with one row per storage scheme: the minimum admissible
     supply voltage for the given defect budget and yield target, and the
     resulting power relative to (and saving versus) the nominal-voltage 6T
-    array.
+    array.  The analysis is analytical: *seed* and *runner* (a
+    :class:`~repro.runner.parallel.ParallelRunner`, an execution-backend
+    name, or ``None``) are accepted for interface uniformity only.
     """
     resolved = get_scale(scale)
     config = resolved.link_config()

@@ -1,9 +1,12 @@
-"""Parallel experiment execution: sharding, caching, registry and CLI.
+"""Parallel experiment execution: sharding, backends, caching, registry, CLI.
 
 Public surface:
 
-* :class:`~repro.runner.parallel.ParallelRunner` — deterministic sharded
-  execution (serial fallback, process pool, adaptive stopping).
+* :class:`~repro.runner.parallel.ParallelRunner` — the streaming scheduler
+  (deterministic sharding, ordered collection, adaptive stopping).
+* :mod:`repro.runner.backends` — pluggable execution backends (``serial``,
+  ``process``, ``socket``) the scheduler hands work items to; all of them
+  produce bit-identical results for the same plan.
 * :mod:`repro.runner.tasks` — the picklable work items drivers decompose
   their sweeps into, plus their keyed-seeding contract.
 * :mod:`repro.runner.registry` — the :class:`ExperimentSpec` registry behind
@@ -11,8 +14,19 @@ Public surface:
 * :class:`~repro.runner.cache.ResultCache` — on-disk JSON result cache.
 """
 
+from repro.runner.backends import (
+    ExecutionBackend,
+    create_execution_backend,
+    execution_backend_names,
+    register_execution_backend,
+)
 from repro.runner.cache import ResultCache, config_digest
-from repro.runner.parallel import AdaptiveEstimate, ParallelRunner
+from repro.runner.parallel import (
+    AdaptiveEstimate,
+    ParallelRunner,
+    resolve_runner,
+    runner_scope,
+)
 
 # The registry imports the experiment drivers, and the drivers import
 # repro.runner.parallel / .tasks (hence this package __init__) — so the
@@ -37,12 +51,18 @@ def __getattr__(name: str):
 __all__ = [
     "AdaptiveEstimate",
     "EXPERIMENTS",
+    "ExecutionBackend",
     "ExperimentRun",
     "ExperimentSpec",
     "ParallelRunner",
     "ResultCache",
     "config_digest",
+    "create_execution_backend",
+    "execution_backend_names",
     "experiment_names",
     "get_experiment",
+    "register_execution_backend",
+    "resolve_runner",
     "run_experiment",
+    "runner_scope",
 ]

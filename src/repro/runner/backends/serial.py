@@ -1,0 +1,29 @@
+"""In-process serial execution — the reference backend.
+
+Every other backend is required to reproduce this one's results bit for bit
+(the conformance suite in ``tests/test_execution_backends.py`` pins it), so
+the serial backend is also the fallback used by tests and by environments
+without multiprocessing or network support.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence, Tuple
+
+from repro.runner.backends.base import ExecutionBackend
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute every work item inline, in submission order."""
+
+    name = "serial"
+
+    def submit(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+    ) -> Iterator[Tuple[int, Any]]:
+        for index, task in enumerate(tasks):
+            yield index, fn(task)
+
+    @property
+    def is_serial(self) -> bool:
+        return True

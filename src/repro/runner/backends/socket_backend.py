@@ -1,0 +1,493 @@
+"""Socket-distributed execution: a TCP coordinator plus worker daemons.
+
+The coordinator binds a TCP port, hands pickled work items to whichever
+worker daemons (``python -m repro worker --connect HOST:PORT``) are
+connected, and streams results back to the scheduler.  Delivery is
+**at-least-once**: a work item whose worker connection dies is requeued for
+another worker, and the per-round de-duplication in :meth:`submit` discards
+late or duplicate deliveries by ``(round, index)`` — re-execution is safe
+because every work item derives its random stream from its sweep
+coordinates, so two executions of the same item produce identical bytes.
+
+Topology therefore never leaks into results: a socket run is bit-identical
+to a serial run of the same plan, which is exactly why the backend is kept
+out of the run identity.
+
+For single-machine use (CI, the conformance suite, quick sanity checks) the
+coordinator can spawn ``local_workers`` daemons itself; for real
+distribution, bind a routable address and start workers on other machines —
+but note the wire format is pickle, so only trusted networks apply (see
+:mod:`repro.runner.backends.wire`).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.runner.backends.base import ExecutionBackend
+from repro.runner.backends.process_pool import default_workers
+from repro.runner.backends.wire import parse_address, recv_message, send_message
+
+#: How long dispatch/collection loops sleep between poll iterations (s).
+_POLL_INTERVAL = 0.1
+
+
+class _WorkerConnection:
+    """Coordinator-side state of one connected worker daemon."""
+
+    def __init__(self, sock: socket.socket, peer: str) -> None:
+        self.sock = sock
+        self.peer = peer
+        self.alive = True
+        #: Serialises frame writes (dispatcher vs. shutdown broadcast).
+        self.send_lock = threading.Lock()
+        #: Guards :attr:`outstanding`.
+        self.lock = threading.Lock()
+        #: Tasks sent but not yet answered, by ``(round, index)``.
+        self.outstanding: Dict[Tuple[int, int], Tuple] = {}
+        #: One credit per received reply; the dispatcher waits for a credit
+        #: before sending the next task, so work is pulled, not pushed.
+        self.credits = threading.Semaphore(0)
+
+    def mark_dead(self) -> None:
+        self.alive = False
+        self.credits.release()  # wake a dispatcher blocked on the credit
+
+
+class SocketDistributedBackend(ExecutionBackend):
+    """Execute work items on TCP-connected worker daemons.
+
+    Parameters
+    ----------
+    workers:
+        Default number of locally spawned worker daemons when
+        *local_workers* is not given (``0`` means one per CPU, matching the
+        process backend's convention).
+    bind:
+        ``HOST:PORT`` the coordinator listens on.  Port ``0`` picks an
+        ephemeral port (read it back from :attr:`address`).  The default
+        binds loopback; bind a routable host only on trusted networks.
+    local_workers:
+        Worker daemons to spawn on this machine once the coordinator is up
+        (``None`` -> *workers*).  ``0`` spawns nothing and waits for
+        external workers to connect.
+    worker_timeout:
+        Seconds :meth:`submit` tolerates having no connected worker (while
+        work is pending) before raising.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        bind: str = "127.0.0.1:0",
+        local_workers: Optional[int] = None,
+        worker_timeout: float = 120.0,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be non-negative, got {workers}")
+        if local_workers is None:
+            # workers=0 means "auto" everywhere else; for local spawning that
+            # is one daemon per CPU.
+            local_workers = workers if workers > 0 else default_workers()
+        if local_workers < 0:
+            raise ValueError(f"local_workers must be non-negative, got {local_workers}")
+        if worker_timeout <= 0:
+            raise ValueError(f"worker_timeout must be positive, got {worker_timeout}")
+        self.bind_host, self.bind_port = parse_address(bind)
+        self.local_workers = int(local_workers)
+        self.worker_timeout = float(worker_timeout)
+
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: List[_WorkerConnection] = []
+        self._connections_lock = threading.Lock()
+        self._task_queue: "queue.Queue[Tuple]" = queue.Queue()
+        self._results: "queue.Queue[Tuple[str, int, int, Any]]" = queue.Queue()
+        self._round = 0
+        self._collecting = False
+        self._closing = False
+        self._last_activity = time.monotonic()
+        self._local_procs: List[subprocess.Popen] = []
+        self._stderr_dir: Optional[tempfile.TemporaryDirectory] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> str:
+        """The coordinator's bound ``HOST:PORT`` (starts it if needed)."""
+        self._ensure_started()
+        assert self._listener is not None
+        host, port = self._listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def connected_workers(self) -> int:
+        """Number of currently connected worker daemons."""
+        with self._connections_lock:
+            return sum(1 for conn in self._connections if conn.alive)
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+    ) -> Iterator[Tuple[int, Any]]:
+        tasks = list(tasks)
+        if not tasks:
+            return iter(())
+        self._ensure_started()
+        return self._run_round(fn, tasks)
+
+    def _run_round(
+        self, fn: Callable[[Any], Any], tasks: List[Any]
+    ) -> Iterator[Tuple[int, Any]]:
+        """Enqueue one round and yield its de-duplicated results.
+
+        Everything — the one-round-at-a-time check, the round id bump, the
+        enqueue — happens lazily when the stream is first consumed, so a
+        stream that is created but never started holds no backend state
+        (dropping it cannot wedge later rounds).
+        """
+        if self._collecting:
+            # Starting a new round abandons the previous one (its tasks are
+            # dropped at dispatch, its replies at collection), which would
+            # leave the old stream waiting forever — refuse instead.
+            raise RuntimeError(
+                "a previous round is still being collected; exhaust or close "
+                "its stream before submitting another (one round at a time)"
+            )
+        self._collecting = True
+        try:
+            self._round += 1
+            round_id = self._round
+            self._last_activity = time.monotonic()
+            for index, task in enumerate(tasks):
+                self._task_queue.put((round_id, index, fn, task))
+            done: set = set()
+            while len(done) < len(tasks):
+                try:
+                    kind, reply_round, index, value = self._results.get(
+                        timeout=_POLL_INTERVAL
+                    )
+                except queue.Empty:
+                    self._check_liveness()
+                    continue
+                self._last_activity = time.monotonic()
+                if reply_round != round_id or index in done:
+                    continue  # stale round or duplicate delivery (at-least-once)
+                if kind == "error":
+                    raise RuntimeError(
+                        f"work item {index} failed on a remote worker:\n{value}"
+                    )
+                done.add(index)
+                yield index, value
+        finally:
+            # Invalidate whatever is still queued or in flight from this
+            # round — dispatchers drop stale tasks, collectors stale replies
+            # — so an errored or abandoned round does not keep burning
+            # workers on items nobody will read.
+            self._round += 1
+            self._collecting = False
+
+    def _check_liveness(self) -> None:
+        """Raise when pending work can no longer make progress."""
+        if self.connected_workers() > 0:
+            return
+        if self._local_procs and all(p.poll() is not None for p in self._local_procs):
+            raise RuntimeError(
+                "all local worker daemons exited while work was pending:\n"
+                + self._local_worker_diagnostics()
+            )
+        if time.monotonic() - self._last_activity > self.worker_timeout:
+            raise RuntimeError(
+                f"no worker connected to {self.address} for "
+                f"{self.worker_timeout:.0f}s with work pending"
+            )
+
+    def _local_worker_diagnostics(self) -> str:
+        lines = []
+        for proc_index, proc in enumerate(self._local_procs):
+            tail = ""
+            if self._stderr_dir is not None:
+                log = Path(self._stderr_dir.name) / f"worker-{proc_index}.log"
+                if log.exists():
+                    tail = log.read_text()[-2000:]
+            lines.append(f"worker {proc_index}: exit={proc.poll()}\n{tail}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    def _ensure_started(self) -> None:
+        if self._closing:
+            raise RuntimeError("backend is closed")
+        if self._listener is not None:
+            return
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.bind_host, self.bind_port))
+        listener.listen(64)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-coordinator-accept", daemon=True
+        )
+        self._accept_thread.start()
+        if self.local_workers:
+            self._spawn_local_workers()
+
+    def _spawn_local_workers(self) -> None:
+        self._stderr_dir = tempfile.TemporaryDirectory(prefix="repro-workers-")
+        env = os.environ.copy()
+        # Local daemons must unpickle whatever module-level task functions
+        # the parent can reference (fork-based pool workers inherit sys.path
+        # wholesale), so replicate the parent's import environment.
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        for worker_index in range(self.local_workers):
+            log_path = Path(self._stderr_dir.name) / f"worker-{worker_index}.log"
+            with open(log_path, "wb") as log:
+                proc = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--connect",
+                        self.address,
+                        "--connect-retries",
+                        "40",
+                        "--retry-delay",
+                        "0.25",
+                    ],
+                    env=env,
+                    stdout=log,
+                    stderr=subprocess.STDOUT,
+                )
+            self._local_procs.append(proc)
+
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing:
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _WorkerConnection(sock, f"{peer[0]}:{peer[1]}")
+            threading.Thread(
+                target=self._handshake, args=(conn,), daemon=True,
+                name=f"repro-worker-{conn.peer}",
+            ).start()
+
+    def _handshake(self, conn: _WorkerConnection) -> None:
+        try:
+            hello = recv_message(conn.sock)
+        except (ConnectionError, OSError, ValueError, EOFError):
+            conn.sock.close()
+            return
+        if not hello or hello[0] != "hello":
+            conn.sock.close()
+            return
+        with self._connections_lock:
+            self._connections.append(conn)
+        self._last_activity = time.monotonic()
+        threading.Thread(
+            target=self._read_loop, args=(conn,), daemon=True,
+            name=f"repro-reader-{conn.peer}",
+        ).start()
+        self._dispatch_loop(conn)
+
+    def _read_loop(self, conn: _WorkerConnection) -> None:
+        """Forward every reply frame of one worker to the result queue."""
+        try:
+            while True:
+                message = recv_message(conn.sock)
+                if message[0] in ("result", "error"):
+                    _kind, round_id, index, value = message
+                    with conn.lock:
+                        conn.outstanding.pop((round_id, index), None)
+                    self._results.put((message[0], round_id, index, value))
+                    conn.credits.release()
+                # anything else (stray hello, unknown type) is ignored
+        except Exception:
+            # EOF, reset, or a corrupt frame: the dispatcher requeues this
+            # worker's unanswered tasks for at-least-once redelivery.
+            conn.mark_dead()
+
+    def _dispatch_loop(self, conn: _WorkerConnection) -> None:
+        """Feed one worker: send a task, wait for its reply credit, repeat."""
+        try:
+            while not self._closing and conn.alive:
+                try:
+                    item = self._task_queue.get(timeout=_POLL_INTERVAL)
+                except queue.Empty:
+                    continue
+                round_id, index, fn, task = item
+                if round_id != self._round:
+                    continue  # task from an abandoned round
+                with conn.lock:
+                    conn.outstanding[(round_id, index)] = item
+                try:
+                    with conn.send_lock:
+                        send_message(conn.sock, ("task", round_id, index, fn, task))
+                except OSError:
+                    conn.mark_dead()
+                    break
+                while not conn.credits.acquire(timeout=_POLL_INTERVAL):
+                    if self._closing or not conn.alive:
+                        break
+        finally:
+            self._retire(conn)
+
+    def _retire(self, conn: _WorkerConnection) -> None:
+        """Requeue a dead worker's unanswered tasks and forget it."""
+        conn.alive = False
+        with conn.lock:
+            outstanding = list(conn.outstanding.items())
+            conn.outstanding.clear()
+        for (round_id, _index), item in outstanding:
+            if round_id == self._round and not self._closing:
+                self._task_queue.put(item)  # at-least-once redelivery
+        with self._connections_lock:
+            if conn in self._connections:
+                self._connections.remove(conn)
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._closing:
+            return
+        self._closing = True
+        with self._connections_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                with conn.send_lock:
+                    send_message(conn.sock, ("shutdown",))
+            except OSError:
+                pass
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+        deadline = time.monotonic() + 5.0
+        for proc in self._local_procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+        self._local_procs.clear()
+        if self._stderr_dir is not None:
+            self._stderr_dir.cleanup()
+            self._stderr_dir = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SocketDistributedBackend(bind={self.bind_host}:{self.bind_port}, "
+            f"local_workers={self.local_workers})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# worker daemon (the ``python -m repro worker`` entry point)
+# --------------------------------------------------------------------------- #
+def run_worker(
+    address: str,
+    *,
+    connect_retries: int = 40,
+    retry_delay: float = 0.5,
+    once: bool = False,
+    log: Callable[[str], None] = lambda line: print(line, file=sys.stderr, flush=True),
+) -> int:
+    """Serve work items from a coordinator until it shuts the run down.
+
+    The daemon connects (retrying up to *connect_retries* times, *retry_delay*
+    seconds apart — so it can be started before the coordinator), executes
+    each received work item with its shipped task function and streams the
+    result back.  On a dropped connection it reconnects and keeps serving
+    (unless *once* is set); on a ``shutdown`` message it exits cleanly.
+
+    Returns a process exit code: ``0`` after a clean shutdown or after
+    serving at least one item, ``1`` if it never managed to connect.
+    """
+    host, port = parse_address(address)
+    if connect_retries < 1:
+        raise ValueError(f"connect_retries must be positive, got {connect_retries}")
+    if retry_delay < 0:
+        raise ValueError(f"retry_delay must be non-negative, got {retry_delay}")
+    served = 0
+    while True:
+        sock = _connect_with_retry(host, port, connect_retries, retry_delay, log)
+        if sock is None:
+            log(f"repro worker: giving up on {address} after {connect_retries} attempts")
+            return 0 if served else 1
+        log(f"repro worker: connected to {address} (pid {os.getpid()})")
+        try:
+            send_message(sock, ("hello", os.getpid()))
+            while True:
+                message = recv_message(sock)
+                if message[0] == "shutdown":
+                    log("repro worker: coordinator finished; exiting")
+                    return 0
+                if message[0] != "task":
+                    continue
+                _kind, round_id, index, fn, task = message
+                try:
+                    reply = ("result", round_id, index, fn(task))
+                except Exception:
+                    reply = ("error", round_id, index, traceback.format_exc())
+                send_message(sock, reply)
+                served += 1
+        except (ConnectionError, OSError):
+            log("repro worker: connection lost")
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            if once:
+                return 0
+            # fall through: reconnect for the coordinator's next round
+        except Exception:
+            # A frame we cannot even unpickle (version-skewed checkout, a
+            # task function that does not resolve here, corrupt stream) is
+            # deterministic: reconnecting would just die again on the
+            # redelivered task.  Log the real cause and exit non-zero so the
+            # coordinator's local-worker diagnostics surface it.
+            log(f"repro worker: fatal protocol error:\n{traceback.format_exc()}")
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            return 1
+
+
+def _connect_with_retry(
+    host: str,
+    port: int,
+    retries: int,
+    delay: float,
+    log: Callable[[str], None],
+) -> Optional[socket.socket]:
+    for attempt in range(retries):
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError:
+            if attempt + 1 < retries:
+                time.sleep(delay)
+    return None

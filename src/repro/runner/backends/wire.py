@@ -1,0 +1,80 @@
+"""Wire protocol of the socket-distributed backend.
+
+Framing is deliberately minimal: every message is an 8-byte big-endian
+length prefix followed by a pickled tuple.  The first tuple element is the
+message type:
+
+========================  =======================================================
+coordinator -> worker
+------------------------  -------------------------------------------------------
+``("task", r, i, fn, t)``  execute work item *t* (round *r*, index *i*) with the
+                           module-level callable *fn* (pickled by reference)
+``("shutdown",)``          run finished; the worker daemon should exit cleanly
+------------------------  -------------------------------------------------------
+worker -> coordinator
+------------------------  -------------------------------------------------------
+``("hello", pid)``         sent once per (re)connection
+``("result", r, i, v)``    work item *i* of round *r* produced value *v*
+``("error", r, i, tb)``    work item *i* of round *r* raised; *tb* is the
+                           formatted remote traceback
+========================  =======================================================
+
+The payload is **pickle**, because work items are the same picklable value
+objects the process-pool backend ships — which also means the coordinator
+must only be exposed to trusted workers (unpickling executes code).  Bind to
+loopback unless every machine that can reach the port is trusted.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Tuple
+
+#: Frame header: payload length as an unsigned 64-bit big-endian integer.
+_HEADER = struct.Struct(">Q")
+
+#: Refuse frames above this size (a corrupt header would otherwise make the
+#: receiver try to allocate petabytes).  1 GiB is far above any real round.
+MAX_FRAME_BYTES = 1 << 30
+
+
+def send_message(sock: socket.socket, message: Tuple[Any, ...]) -> None:
+    """Pickle *message* and write it as one length-prefixed frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_message(sock: socket.socket) -> Tuple[Any, ...]:
+    """Read one length-prefixed frame and unpickle it.
+
+    Raises :class:`ConnectionError` on a cleanly closed peer (EOF) and
+    :class:`ValueError` on a frame that exceeds :data:`MAX_FRAME_BYTES`.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly *count* bytes or raise :class:`ConnectionError` on EOF."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``HOST:PORT`` into its parts (the only address syntax we accept)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host, int(port)

@@ -18,7 +18,7 @@ import hashlib
 import json
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.core.results import SweepTable, _jsonable
 
@@ -114,7 +114,7 @@ class ResultCache:
         return path
 
     def entries(self) -> Dict[str, int]:
-        """Number of cached runs per experiment (for ``repro cache --list``)."""
+        """Number of cached runs per experiment (for ``repro cache ls``)."""
         if not self.root.exists():
             return {}
         return {
@@ -122,6 +122,33 @@ class ResultCache:
             for directory in sorted(self.root.iterdir())
             if directory.is_dir()
         }
+
+    def iter_entries(self) -> Iterator[Tuple[str, str, Path]]:
+        """Yield ``(experiment, digest, path)`` for every cached run file."""
+        if not self.root.exists():
+            return
+        for directory in sorted(self.root.iterdir()):
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.json")):
+                yield directory.name, path.stem, path
+
+    def clear(self, experiment: Optional[str] = None) -> int:
+        """Delete cached runs (all, or one experiment's) and return the count.
+
+        Empty per-experiment directories are removed as well, so a cleared
+        cache looks exactly like a fresh one.
+        """
+        removed = 0
+        for entry_experiment, _digest, path in list(self.iter_entries()):
+            if experiment is not None and entry_experiment != experiment:
+                continue
+            path.unlink()
+            removed += 1
+            parent = path.parent
+            if not any(parent.iterdir()):
+                parent.rmdir()
+        return removed
 
 
 # --------------------------------------------------------------------------- #

@@ -4,18 +4,25 @@ Subcommands
 -----------
 
 ``run <experiment>``
-    Run one registered experiment (``--scale``, ``--seed``, ``--workers``),
-    consult / fill the on-disk result cache, and emit the result as
-    canonical JSON (``--out``) or markdown (default).
+    Run one registered experiment (``--scale``, ``--seed``, ``--workers``,
+    ``--execution-backend``), consult / fill the on-disk result cache, and
+    emit the result as canonical JSON (``--out``) or markdown (default).
 ``list``
-    Show registered experiments and scale presets.
+    Show registered experiments, scale presets and execution backends.
 ``bler``
     Adaptively estimate the defect-free link BLER at one SNR point, stopping
     once the Wilson interval meets the requested relative error.
+``worker``
+    Run a distributed-execution worker daemon that connects to a
+    ``--execution-backend socket`` coordinator and serves work items.
 ``golden``
     (Re)generate the golden-seed regression snapshots under ``tests/golden``.
 ``cache``
-    Inspect the result cache.
+    Inspect (``ls``) or evict (``clear``) the result cache.
+
+The execution backend is pure topology — serial, process-pool and
+socket-distributed runs of the same plan are byte-identical — so it is
+never part of the run identity that keys the cache and the golden files.
 """
 
 from __future__ import annotations
@@ -27,6 +34,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.experiments.scales import SCALES, get_scale
 from repro.phy.turbo.backends import backend_names
+from repro.runner.backends import (
+    DEFAULT_BACKEND,
+    DEFAULT_PARALLEL_BACKEND,
+    create_execution_backend,
+    execution_backend_names,
+    run_worker,
+)
 from repro.runner.cache import (
     ResultCache,
     config_digest,
@@ -52,6 +66,43 @@ GOLDEN_EXPERIMENTS = tuple(EXPERIMENTS)
 ADAPTIVE_EXPERIMENTS = ("fig6", "fig7", "fig8", "fig9")
 
 
+#: Default coordinator bind address of the socket backend (loopback,
+#: ephemeral port); used to detect whether the user set the flag at all.
+DEFAULT_SOCKET_BIND = "127.0.0.1:0"
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags selecting where work items execute (never what they compute)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: 1, or one per CPU when "
+        "--execution-backend is given; 0 = one per CPU; never changes the "
+        "results)",
+    )
+    parser.add_argument(
+        "--execution-backend",
+        default=None,
+        choices=sorted(execution_backend_names()),
+        help="execution backend (default: serial, or the local process pool "
+        "when --workers > 1); pure topology, never part of the run identity",
+    )
+    parser.add_argument(
+        "--socket-address",
+        default=DEFAULT_SOCKET_BIND,
+        help="socket backend: coordinator bind address HOST:PORT "
+        "(port 0 = ephemeral; non-loopback hosts only on trusted networks)",
+    )
+    parser.add_argument(
+        "--socket-workers",
+        type=int,
+        default=None,
+        help="socket backend: local worker daemons to auto-spawn "
+        "(default: --workers; 0 = wait for external `repro worker` daemons)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -64,12 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("experiment", choices=list(EXPERIMENTS), help="experiment name")
     run_p.add_argument("--scale", default="smoke", choices=sorted(SCALES), help="scale preset")
     run_p.add_argument("--seed", type=int, default=DEFAULT_SEED, help="experiment seed")
-    run_p.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="worker processes (0 = one per CPU; never changes the results)",
-    )
+    _add_execution_arguments(run_p)
     run_p.add_argument("--out", type=Path, default=None, help="write canonical JSON here")
     run_p.add_argument("--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR))
     run_p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
@@ -93,7 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     bler_p.add_argument("--snr", type=float, required=True, help="receive SNR in dB")
     bler_p.add_argument("--scale", default="smoke", choices=sorted(SCALES))
     bler_p.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    bler_p.add_argument("--workers", type=int, default=1)
+    _add_execution_arguments(bler_p)
     bler_p.add_argument("--relative-error", type=float, default=0.3)
     bler_p.add_argument("--confidence", type=float, default=0.95)
     bler_p.add_argument("--bler-floor", type=float, default=1e-2)
@@ -110,10 +156,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments", nargs="*", default=None, help="subset to regenerate (default: all)"
     )
 
-    cache_p = sub.add_parser("cache", help="inspect the result cache")
+    worker_p = sub.add_parser(
+        "worker", help="serve work items for a socket-distributed coordinator"
+    )
+    worker_p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="coordinator address"
+    )
+    worker_p.add_argument(
+        "--connect-retries",
+        type=int,
+        default=40,
+        help="connection attempts before giving up (the daemon may be "
+        "started before the coordinator)",
+    )
+    worker_p.add_argument(
+        "--retry-delay", type=float, default=0.5, help="seconds between attempts"
+    )
+    worker_p.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after the first connection ends instead of reconnecting",
+    )
+
+    cache_p = sub.add_parser("cache", help="inspect or evict the result cache")
+    cache_p.add_argument(
+        "action",
+        nargs="?",
+        default="ls",
+        choices=("ls", "clear"),
+        help="ls: list cached runs (default); clear: delete them",
+    )
+    cache_p.add_argument(
+        "--experiment",
+        default=None,
+        help="restrict ls/clear to one experiment's entries",
+    )
     cache_p.add_argument("--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR))
 
     return parser
+
+
+def make_runner(args: argparse.Namespace) -> ParallelRunner:
+    """Build the :class:`ParallelRunner` an execution-flag set asks for."""
+    name = args.execution_backend
+    workers = args.workers
+    if name is None:
+        workers = 1 if workers is None else workers
+        # workers == 0 means "one per CPU" and is therefore parallel.
+        name = DEFAULT_BACKEND if workers == 1 else DEFAULT_PARALLEL_BACKEND
+    elif workers is None:
+        # Naming a backend means "actually use it": scale to one worker per
+        # CPU instead of a degenerate single-worker pool (mirrors
+        # repro.runner.parallel.resolve_runner).
+        workers = 0
+    if name != "socket" and (
+        args.socket_address != DEFAULT_SOCKET_BIND or args.socket_workers is not None
+    ):
+        raise ValueError(
+            "--socket-address/--socket-workers require --execution-backend socket"
+        )
+    options = {}
+    if name == "socket":
+        options = {
+            "bind": args.socket_address,
+            "local_workers": args.socket_workers,
+        }
+    backend = create_execution_backend(name, workers=workers, **options)
+    if name == "socket" and args.socket_workers == 0:
+        # External-worker mode: surface the bound address (the port may be
+        # ephemeral) before the run blocks waiting for daemons.
+        print(
+            f"coordinator listening on {backend.address}; start workers with: "
+            f"python -m repro worker --connect {backend.address}",
+            file=sys.stderr,
+        )
+    return ParallelRunner(workers, backend=backend)
 
 
 # --------------------------------------------------------------------------- #
@@ -164,15 +281,20 @@ def experiment_payload(
     seed: int,
     *,
     workers: int = 1,
+    runner: Optional[ParallelRunner] = None,
     cache: Optional[ResultCache] = None,
     force: bool = False,
     **kwargs: Any,
 ) -> str:
     """Run (or fetch) an experiment and return its canonical JSON payload.
 
-    This is the programmatic core of ``repro run``: worker count affects
-    only wall-clock time, so the returned text is byte-identical for any
-    ``workers`` value and is shared through the cache across runs.
+    This is the programmatic core of ``repro run``: the worker count and the
+    execution backend of *runner* affect only wall-clock time, so the
+    returned text is byte-identical for any of them and is shared through
+    the cache across runs.  Runner lifecycle follows
+    :func:`repro.runner.registry.run_experiment`: a runner built from
+    *workers* (when *runner* is ``None``) is closed before returning, a
+    caller-provided runner stays open.
     """
     identity = run_identity(experiment, scale_name, seed, dict(sorted(kwargs.items())))
     digest = config_digest(identity)
@@ -181,7 +303,7 @@ def experiment_payload(
         if hit is not None:
             return serialize_from_cache(hit)
     outcome = run_experiment(
-        experiment, scale_name, seed, runner=ParallelRunner(workers), **kwargs
+        experiment, scale_name, seed, runner=runner, workers=workers, **kwargs
     )
     payload = serialize_payload(
         experiment, identity=identity, tables=outcome.tables, extras=outcome.extras
@@ -218,15 +340,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise ValueError(
             f"--adaptive applies to the fault-map sweeps {list(ADAPTIVE_EXPERIMENTS)}"
         )
-    payload = experiment_payload(
-        args.experiment,
-        args.scale,
-        args.seed,
-        workers=args.workers,
-        cache=cache,
-        force=args.force,
-        **kwargs,
-    )
+    with make_runner(args) as runner:
+        payload = experiment_payload(
+            args.experiment,
+            args.scale,
+            args.seed,
+            runner=runner,
+            cache=cache,
+            force=args.force,
+            **kwargs,
+        )
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(payload)
@@ -256,13 +379,14 @@ def _cmd_list(_args: argparse.Namespace) -> int:
             f"  {scale.name:<8} payload={scale.payload_bits}b packets={scale.num_packets} "
             f"maps={scale.num_fault_maps} snr_points={len(scale.snr_points_db)}"
         )
+    print("execution backends (topology only; results are identical):")
+    print(f"  {' '.join(sorted(execution_backend_names()))}")
     return 0
 
 
 def _cmd_bler(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
     config = scale.link_config()
-    runner = ParallelRunner(args.workers)
 
     def make_task(chunk_index: int) -> LinkChunkTask:
         return LinkChunkTask(
@@ -273,15 +397,16 @@ def _cmd_bler(args: argparse.Namespace) -> int:
             key=(chunk_index,),
         )
 
-    outcome = runner.run_adaptive_proportion(
-        make_task,
-        count_block_errors,
-        confidence=args.confidence,
-        relative_error=args.relative_error,
-        bler_floor=args.bler_floor,
-        max_trials=args.max_packets,
-        map_chunks=count_block_errors_batched,
-    )
+    with make_runner(args) as runner:
+        outcome = runner.run_adaptive_proportion(
+            make_task,
+            count_block_errors,
+            confidence=args.confidence,
+            relative_error=args.relative_error,
+            bler_floor=args.bler_floor,
+            max_trials=args.max_packets,
+            map_chunks=count_block_errors_batched,
+        )
     estimate = outcome.estimate
     print(
         f"BLER at {args.snr:.1f} dB ({scale.name} scale): {estimate.value:.4f} "
@@ -305,13 +430,35 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    return run_worker(
+        args.connect,
+        connect_retries=args.connect_retries,
+        retry_delay=args.retry_delay,
+        once=args.once,
+    )
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
-    entries = ResultCache(args.cache_dir).entries()
-    if not entries:
-        print(f"cache at {args.cache_dir} is empty")
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear(args.experiment)
+        scope = f" for {args.experiment}" if args.experiment else ""
+        print(f"removed {removed} cached run(s){scope} from {args.cache_dir}")
         return 0
-    for experiment, count in entries.items():
-        print(f"  {experiment:<14} {count} cached run(s)")
+    shown = 0
+    for experiment, digest, path in cache.iter_entries():
+        if args.experiment is not None and experiment != args.experiment:
+            continue
+        detail = ""
+        payload = cache.load(experiment, digest)
+        if payload is not None:
+            identity = payload.get("identity", {})
+            detail = f" scale={identity.get('scale', '?')} seed={identity.get('seed', '?')}"
+        print(f"  {experiment:<14} {digest}{detail}  ({path.stat().st_size} bytes)")
+        shown += 1
+    if not shown:
+        print(f"cache at {args.cache_dir} is empty")
     return 0
 
 
@@ -319,6 +466,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "list": _cmd_list,
     "bler": _cmd_bler,
+    "worker": _cmd_worker,
     "golden": _cmd_golden,
     "cache": _cmd_cache,
 }

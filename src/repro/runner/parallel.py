@@ -1,49 +1,68 @@
-"""Deterministically-sharded parallel execution of experiment workloads.
+"""Deterministically-sharded execution of experiment workloads.
 
 The paper stresses that "meaningful throughput evaluation requires a vast
 amount of Monte-Carlo simulations averaging over various wireless channel
-conditions"; this module provides the execution substrate for that averaging:
+conditions"; this module provides the scheduling layer for that averaging:
 
-* :class:`ParallelRunner` — executes a list of independent, picklable work
-  items over a :class:`concurrent.futures.ProcessPoolExecutor` (or serially
-  in-process for ``workers <= 1``) and returns results **in submission
-  order**.
+* :class:`ParallelRunner` — the streaming scheduler.  It decomposes nothing
+  itself; it takes a list of independent, picklable work items, hands them
+  to a pluggable :class:`~repro.runner.backends.ExecutionBackend` (serial,
+  local process pool, or socket-distributed workers) via
+  :meth:`~ParallelRunner.submit_round`, and reassembles the streamed
+  results **in submission order** with
+  :meth:`~ParallelRunner.collect_in_order`.
 * Deterministic sharding — a workload is decomposed into work items *before*
   execution, and every item derives its random stream from a
   :func:`repro.utils.rng.keyed_seed_sequence` spawn key that encodes the
   item's position in the sweep, never the worker that happens to execute it.
-  Consequently serial and parallel runs of the same plan are bit-identical.
-* Adaptive stopping — :meth:`ParallelRunner.run_adaptive_proportion` keeps
-  scheduling fixed-size packet chunks in fixed-size rounds until the Wilson
-  confidence interval from :func:`repro.core.montecarlo`
-  ``proportion_confidence_interval`` meets the requested relative error (or
-  the ``required_packets_for_bler`` budget for the smallest BLER of interest
-  is exhausted).  Because rounds — not workers — are the scheduling unit, the
-  stopping decision is also independent of the worker count.
+  Consequently serial, process-pool and distributed runs of the same plan
+  are bit-identical, and the backend is excluded from the run identity.
+* Adaptive stopping — :meth:`ParallelRunner.run_adaptive_rounds` is the one
+  round-scheduling loop shared by the defect-free BLER estimator
+  (:meth:`ParallelRunner.run_adaptive_proportion`) and the fault-map grid
+  (:func:`repro.runner.tasks.run_fault_map_grid`): it keeps scheduling
+  fixed-size rounds until the Wilson confidence interval from
+  :func:`repro.core.montecarlo` ``proportion_confidence_interval`` meets the
+  requested relative error or a packet budget is exhausted.  Because rounds
+  — not workers — are the scheduling unit, the stopping decision is also
+  independent of the worker count and of the backend.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.core.montecarlo import (
     EstimateWithConfidence,
     proportion_confidence_interval,
     required_packets_for_bler,
 )
+from repro.runner.backends import (
+    DEFAULT_BACKEND,
+    DEFAULT_PARALLEL_BACKEND,
+    ExecutionBackend,
+    create_execution_backend,
+    default_workers,
+)
 from repro.utils.validation import ensure_positive_int
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
 
-
-def default_workers() -> int:
-    """Worker count used when the caller asks for ``workers=0`` ("auto")."""
-    return max(1, os.cpu_count() or 1)
+#: Sentinel marking a result slot the backend never filled.
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -71,32 +90,54 @@ class AdaptiveEstimate:
     stop_reason: str
 
 
+@dataclass(frozen=True)
+class AdaptiveRounds:
+    """Raw outcome of one :meth:`ParallelRunner.run_adaptive_rounds` loop."""
+
+    errors: int
+    trials: int
+    num_items: int
+    stop_reason: str
+
+
 class ParallelRunner:
-    """Execute independent work items across processes, deterministically.
+    """Schedule independent work items over an execution backend.
 
     Parameters
     ----------
     workers:
-        Number of worker processes.  ``workers <= 1`` executes serially in
-        the calling process (the fallback used by tests and by environments
-        without ``fork``/``spawn`` support); ``workers == 0`` means "one per
-        CPU".  The *results* of a run never depend on this value — only the
+        Number of worker processes.  ``workers == 0`` means "one per CPU".
+        The *results* of a run never depend on this value — only the
         wall-clock time does.
     mp_context:
-        Multiprocessing start-method name (``"fork"``, ``"spawn"``,
-        ``"forkserver"``).  Defaults to ``"fork"`` where available (cheap on
-        Linux: workers inherit the imported simulator modules) and the
-        platform default elsewhere.
+        Multiprocessing start-method name for the process backend
+        (``"fork"``, ``"spawn"``, ``"forkserver"``).
+    backend:
+        Execution backend: a name from
+        :func:`repro.runner.backends.execution_backend_names` (``serial``,
+        ``process``, ``socket``), a built
+        :class:`~repro.runner.backends.ExecutionBackend` instance, or
+        ``None`` for the historical default — serial for ``workers <= 1``,
+        the local process pool otherwise.  The backend choice can never
+        change results; it is pure execution topology.
     """
 
-    def __init__(self, workers: int = 1, *, mp_context: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        mp_context: Optional[str] = None,
+        backend: Union[str, ExecutionBackend, None] = None,
+    ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
         self.workers = workers if workers > 0 else default_workers()
-        if mp_context is None:
-            methods = multiprocessing.get_all_start_methods()
-            mp_context = "fork" if "fork" in methods else None
-        self.mp_context = mp_context
+        if backend is None:
+            backend = DEFAULT_BACKEND if workers == 1 else DEFAULT_PARALLEL_BACKEND
+        self._backend = create_execution_backend(
+            backend, workers=self.workers, mp_context=mp_context
+        )
+        self.mp_context = getattr(self._backend, "mp_context", mp_context)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -105,34 +146,147 @@ class ParallelRunner:
         return cls(workers=1)
 
     @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend work is scheduled onto."""
+        return self._backend
+
+    @property
     def is_serial(self) -> bool:
         """Whether work runs in-process (no executor involved)."""
-        return self.workers <= 1
+        return self._backend.is_serial
+
+    def close(self) -> None:
+        """Release the backend's resources (pools, sockets, worker daemons)."""
+        self._backend.close()
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ParallelRunner(workers={self.workers}, mp_context={self.mp_context!r})"
+        return f"ParallelRunner(workers={self.workers}, backend={self._backend!r})"
 
     # ------------------------------------------------------------------ #
+    # the streaming scheduler
+    # ------------------------------------------------------------------ #
+    def submit_round(
+        self, fn: Callable[[TaskT], ResultT], tasks: Sequence[TaskT]
+    ) -> Iterator[Tuple[int, ResultT]]:
+        """Hand one round of tasks to the backend, streaming ``(index, result)``.
+
+        Pairs arrive in completion order (backend-dependent); every index is
+        delivered exactly once.  ``fn`` and every task must be picklable
+        (module-level function plus dataclass/tuple payloads) for any
+        backend that leaves the calling process.
+        """
+        return self._backend.submit(fn, list(tasks))
+
+    @staticmethod
+    def collect_in_order(
+        stream: Iterable[Tuple[int, ResultT]], count: int
+    ) -> List[ResultT]:
+        """Reassemble a :meth:`submit_round` stream into submission order."""
+        results: List = [_MISSING] * count
+        for index, value in stream:
+            results[index] = value
+        missing = [index for index, value in enumerate(results) if value is _MISSING]
+        if missing:
+            raise RuntimeError(f"backend never delivered results for items {missing}")
+        return results
+
     def map(self, fn: Callable[[TaskT], ResultT], tasks: Sequence[TaskT]) -> List[ResultT]:
         """Run ``fn`` over *tasks* and return results in task order.
 
-        ``fn`` and every task must be picklable (module-level function plus
-        dataclass/tuple payloads) when more than one worker is used.  Because
-        each task carries its own seed material, the output is identical for
-        any worker count — including the serial fallback.
+        Because each task carries its own seed material, the output is
+        identical for any worker count and any backend — including the
+        serial fallback.
         """
         tasks = list(tasks)
         if not tasks:
             return []
-        if self.is_serial or len(tasks) == 1:
-            return [fn(task) for task in tasks]
-        context = (
-            multiprocessing.get_context(self.mp_context) if self.mp_context else None
+        return self.collect_in_order(self.submit_round(fn, tasks), len(tasks))
+
+    # ------------------------------------------------------------------ #
+    # the unified adaptive round loop
+    # ------------------------------------------------------------------ #
+    def run_adaptive_rounds(
+        self,
+        schedule_round: Callable[[int, int], Sequence[TaskT]],
+        execute_round: Callable[["ParallelRunner", Sequence[TaskT]], Iterable[ResultT]],
+        to_counts: Callable[[ResultT], Tuple[int, int]],
+        *,
+        confidence: float,
+        relative_error: float,
+        min_trials: int,
+        budget: int,
+        max_trials: Optional[int] = None,
+        on_result: Optional[Callable[[ResultT], None]] = None,
+    ) -> AdaptiveRounds:
+        """The one round loop behind every adaptive (early-stopped) estimate.
+
+        Keeps scheduling rounds of work items until the Wilson interval of
+        the accumulated ``(errors, trials)`` proportion meets the target, or
+        a budget/ceiling is spent.  Rounds — not workers — are the
+        scheduling quantum, and round membership is fixed *before*
+        execution, so the stopping decision is independent of the worker
+        count and of the execution backend.
+
+        Parameters
+        ----------
+        schedule_round:
+            ``schedule_round(num_items, trials)`` builds the next round's
+            work items from the number of items already scheduled and the
+            trials accumulated so far (lets callers shrink the final round
+            to what a budget still covers).
+        execute_round:
+            Executes one round — typically :meth:`map`, possibly after
+            pooling the round's items into cross-work-item decode batches —
+            and returns/yields one result per item, in item order.
+        to_counts:
+            Projects one result to its ``(errors, trials)`` contribution.
+        on_result:
+            Optional hook receiving every result as it streams in (used by
+            the fault-map grid to keep the per-die outcomes).
+        confidence, relative_error:
+            Stop (``"confident"``) once the Wilson interval's half-width is
+            at most ``relative_error`` times the estimate — with at least
+            one error observed and ``min_trials`` trials accumulated.
+        budget:
+            Trial budget after which an error-free estimate stops
+            (``"budget"``).
+        max_trials:
+            Optional hard trial ceiling (``"max_packets"``).
+        """
+        errors = 0
+        trials = 0
+        num_items = 0
+        stop_reason = "budget"
+        while True:
+            round_tasks = list(schedule_round(num_items, trials))
+            for result in execute_round(self, round_tasks):
+                if on_result is not None:
+                    on_result(result)
+                result_errors, result_trials = to_counts(result)
+                errors += int(result_errors)
+                trials += int(result_trials)
+            num_items += len(round_tasks)
+
+            if trials >= min_trials and errors > 0:
+                interval = proportion_confidence_interval(errors, trials, confidence)
+                if interval.half_width <= relative_error * interval.value:
+                    stop_reason = "confident"
+                    break
+            if max_trials is not None and trials >= max_trials:
+                stop_reason = "max_packets"
+                break
+            if trials >= budget:
+                stop_reason = "budget"
+                break
+        return AdaptiveRounds(
+            errors=errors, trials=trials, num_items=num_items, stop_reason=stop_reason
         )
-        max_workers = min(self.workers, len(tasks))
-        with ProcessPoolExecutor(max_workers=max_workers, mp_context=context) as pool:
-            futures = [pool.submit(fn, task) for task in tasks]
-            return [future.result() for future in futures]
 
     # ------------------------------------------------------------------ #
     def run_adaptive_proportion(
@@ -191,39 +345,73 @@ class ParallelRunner:
         if max_trials is not None:
             ensure_positive_int(max_trials, "max_trials")
 
-        errors = 0
-        trials = 0
-        num_chunks = 0
-        stop_reason = "budget"
-        while True:
-            chunk_tasks = [make_task(num_chunks + i) for i in range(chunks_per_round)]
-            round_counts = (
-                map_chunks(self, chunk_tasks)
-                if map_chunks is not None
-                else self.map(fn, chunk_tasks)
-            )
-            for chunk_errors, chunk_trials in round_counts:
-                errors += int(chunk_errors)
-                trials += int(chunk_trials)
-            num_chunks += len(chunk_tasks)
+        def schedule_round(num_items: int, _trials: int) -> List[TaskT]:
+            return [make_task(num_items + i) for i in range(chunks_per_round)]
 
-            if trials >= min_trials and errors > 0:
-                interval = proportion_confidence_interval(errors, trials, confidence)
-                if interval.half_width <= relative_error * interval.value:
-                    stop_reason = "confident"
-                    break
-            if max_trials is not None and trials >= max_trials:
-                stop_reason = "max_packets"
-                break
-            if trials >= budget:
-                stop_reason = "budget"
-                break
+        def execute_round(
+            runner: "ParallelRunner", chunks: Sequence[TaskT]
+        ) -> Sequence[Tuple[int, int]]:
+            if map_chunks is not None:
+                return map_chunks(runner, list(chunks))
+            return runner.map(fn, chunks)
 
-        estimate = proportion_confidence_interval(errors, trials, confidence)
+        rounds = self.run_adaptive_rounds(
+            schedule_round,
+            execute_round,
+            lambda counts: counts,
+            confidence=confidence,
+            relative_error=relative_error,
+            min_trials=min_trials,
+            budget=budget,
+            max_trials=max_trials,
+        )
+        estimate = proportion_confidence_interval(rounds.errors, rounds.trials, confidence)
         return AdaptiveEstimate(
             estimate=estimate,
-            errors=errors,
-            trials=trials,
-            num_chunks=num_chunks,
-            stop_reason=stop_reason,
+            errors=rounds.errors,
+            trials=rounds.trials,
+            num_chunks=rounds.num_items,
+            stop_reason=rounds.stop_reason,
         )
+
+
+def resolve_runner(runner: Union["ParallelRunner", str, None]) -> "ParallelRunner":
+    """Normalise a driver's ``runner`` argument.
+
+    Accepts ``None`` (in-process serial), a built :class:`ParallelRunner`,
+    or an execution-backend name (``"serial"``, ``"process"``, ``"socket"``)
+    — the latter is how ``--execution-backend`` threads through the drivers
+    without every call site constructing a runner.  Asking for a backend by
+    name means "actually use it", so named backends scale to one worker per
+    CPU; construct a :class:`ParallelRunner` for any other worker count.
+    """
+    if runner is None:
+        return ParallelRunner.serial()
+    if isinstance(runner, ParallelRunner):
+        return runner
+    if isinstance(runner, str):
+        return ParallelRunner(workers=0, backend=runner)
+    raise TypeError(
+        f"runner must be None, a ParallelRunner or a backend name, "
+        f"got {type(runner).__name__}"
+    )
+
+
+@contextmanager
+def runner_scope(
+    runner: Union["ParallelRunner", str, None]
+) -> Iterator["ParallelRunner"]:
+    """Resolve *runner* for the duration of one driver run.
+
+    A runner the caller provided is yielded as-is and left open (its
+    lifecycle belongs to the caller); one built here — from ``None`` or a
+    backend name — is closed on exit, so a driver invoked with
+    ``runner="socket"`` tears down its coordinator and worker daemons
+    instead of leaking them.
+    """
+    resolved = resolve_runner(runner)
+    try:
+        yield resolved
+    finally:
+        if resolved is not runner:
+            resolved.close()

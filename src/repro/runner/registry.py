@@ -25,6 +25,7 @@ from repro.experiments import (
     power_savings,
 )
 from repro.experiments.scales import Scale, get_scale
+from repro.runner.backends import ExecutionBackend, create_execution_backend
 from repro.runner.parallel import ParallelRunner
 from repro.utils.rng import RngLike, resolve_entropy
 
@@ -209,18 +210,43 @@ def run_experiment(
     scale: Union[str, Scale] = "smoke",
     seed: RngLike = 2012,
     runner: Optional[ParallelRunner] = None,
+    *,
+    workers: int = 1,
+    execution_backend: Union[str, ExecutionBackend, None] = None,
     **kwargs: Any,
 ) -> ExperimentRun:
     """Run a registered experiment and normalise its outcome.
 
     The seed is reduced to an integer entropy first (see
     :func:`repro.utils.rng.resolve_entropy`) so the run identity recorded in
-    caches and golden files is a plain number.
+    caches and golden files is a plain number.  Execution is controlled by
+    *runner* — or, when it is ``None``, by *workers* and
+    *execution_backend* (a name from
+    :func:`repro.runner.backends.execution_backend_names`); a runner built
+    here is closed before returning.  None of these can change the result:
+    execution topology is not part of the run identity.
     """
     spec = get_experiment(name)
     resolved_scale = get_scale(scale)
     entropy = resolve_entropy(seed)
-    result = spec.run(resolved_scale, entropy, runner=runner or ParallelRunner.serial(), **kwargs)
+    owns_runner = runner is None
+    if runner is not None and (workers != 1 or execution_backend is not None):
+        raise ValueError(
+            "pass either runner= or workers=/execution_backend=, not both "
+            "(the provided runner already fixes the execution topology)"
+        )
+    if runner is None:
+        backend = (
+            create_execution_backend(execution_backend, workers=workers)
+            if execution_backend is not None
+            else None
+        )
+        runner = ParallelRunner(workers, backend=backend)
+    try:
+        result = spec.run(resolved_scale, entropy, runner=runner, **kwargs)
+    finally:
+        if owns_runner:
+            runner.close()
     tables, extras = _normalise(result)
     return ExperimentRun(
         spec=spec, scale=resolved_scale, seed=entropy, tables=tables, extras=extras

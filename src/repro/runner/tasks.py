@@ -12,13 +12,17 @@ bit-identical.
 
 Workers memoise the (expensive to build) link simulator per configuration,
 so scheduling many tasks that share a :class:`~repro.link.config.LinkConfig`
-costs one construction per worker process, not one per task.
+costs one construction per worker process, not one per task.  The memo is a
+small LRU: long-lived distributed workers (``python -m repro worker``) serve
+many runs with many distinct configurations, so an unbounded cache would
+grow without limit.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,17 +33,27 @@ from repro.link.config import LinkConfig
 from repro.link.system import HspaLikeLink, PacketGroup, simulate_packet_groups
 from repro.utils.rng import keyed_seed_sequence
 
-#: Per-process cache of constructed link simulators, keyed by configuration.
-_LINK_CACHE: Dict[Tuple[LinkConfig, bool], HspaLikeLink] = {}
+#: Upper bound on memoised link simulators per worker process.  Comfortably
+#: above the distinct configurations of any single experiment (Fig. 9 sweeps
+#: one configuration per LLR bit-width), so within one run the cache never
+#: thrashes — it only evicts across runs on long-lived workers.
+LINK_CACHE_MAX_ENTRIES = 16
+
+#: Per-process LRU of constructed link simulators, keyed by configuration.
+_LINK_CACHE: "OrderedDict[Tuple[LinkConfig, bool], HspaLikeLink]" = OrderedDict()
 
 
 def _cached_link(config: LinkConfig, use_rake: bool = False) -> HspaLikeLink:
-    """The worker-local simulator for *config* (constructed once per process)."""
+    """The worker-local simulator for *config* (LRU-memoised per process)."""
     cache_key = (config, use_rake)
     link = _LINK_CACHE.get(cache_key)
     if link is None:
         link = HspaLikeLink(config, use_rake=use_rake)
         _LINK_CACHE[cache_key] = link
+    else:
+        _LINK_CACHE.move_to_end(cache_key)
+    while len(_LINK_CACHE) > LINK_CACHE_MAX_ENTRIES:
+        _LINK_CACHE.popitem(last=False)
     return link
 
 
@@ -475,13 +489,13 @@ def _run_adaptive_point(
     with the fixed sweep's dies; adaptive mode only decides *how many* of
     them (and, for hard points, how many extra dies) to run.  Each round's
     dies are pooled into cross-work-item decode batches exactly like the
-    fixed path — which dies run depends only on round membership, so
-    neither grouping nor the worker count can change the result.
+    fixed path, and the loop itself is the shared
+    :meth:`~repro.runner.parallel.ParallelRunner.run_adaptive_rounds`
+    scheduler — which dies run depends only on round membership, so neither
+    grouping, nor the worker count, nor the execution backend can change
+    the result.
     """
-    from repro.core.montecarlo import (
-        proportion_confidence_interval,
-        required_packets_for_bler,
-    )
+    from repro.core.montecarlo import required_packets_for_bler
 
     packets_per_map = max(1, num_packets // num_fault_maps)
     budget = required_packets_for_bler(adaptive.bler_floor, adaptive.relative_error)
@@ -489,17 +503,13 @@ def _run_adaptive_point(
     min_trials = min(adaptive.min_trials, max_trials)
     trial_ceiling = min(max_trials, budget)
 
-    outcomes: List[FaultMapOutcome] = []
-    errors = 0
-    trials = 0
-    num_dies = 0
-    while True:
+    def schedule_round(num_dies: int, trials: int) -> List[FaultMapTask]:
         # Never schedule past the trial ceiling: a round shrinks to however
         # many dies the remaining budget still covers, so adaptive mode
         # cannot simulate more than the fixed-schedule sweep at any point.
         remaining_dies = -(-(trial_ceiling - trials) // packets_per_map)  # ceil
         round_dies = max(1, min(adaptive.chunks_per_round, remaining_dies))
-        round_tasks = [
+        return [
             FaultMapTask(
                 config=point.config,
                 protection=point.protection,
@@ -512,21 +522,24 @@ def _run_adaptive_point(
             )
             for i in range(round_dies)
         ]
-        num_dies += len(round_tasks)
-        groups = group_tasks_for_batching(round_tasks, aggregate_packets)
-        for group_outcomes in runner.map(simulate_fault_map_batch, groups):
-            for outcome in group_outcomes:
-                outcomes.append(outcome)
-                chunk_errors, chunk_trials = _fault_outcome_errors(outcome)
-                errors += chunk_errors
-                trials += chunk_trials
 
-        if trials >= min_trials and errors > 0:
-            interval = proportion_confidence_interval(errors, trials, adaptive.confidence)
-            if interval.half_width <= adaptive.relative_error * interval.value:
-                break
-        if trials >= max_trials or trials >= budget:
-            break
+    def execute_round(round_runner, round_tasks):
+        groups = group_tasks_for_batching(round_tasks, aggregate_packets)
+        for group_outcomes in round_runner.map(simulate_fault_map_batch, groups):
+            yield from group_outcomes
+
+    outcomes: List[FaultMapOutcome] = []
+    runner.run_adaptive_rounds(
+        schedule_round,
+        execute_round,
+        _fault_outcome_errors,
+        confidence=adaptive.confidence,
+        relative_error=adaptive.relative_error,
+        min_trials=min_trials,
+        budget=budget,
+        max_trials=max_trials,
+        on_result=outcomes.append,
+    )
 
     return merge_fault_outcomes(outcomes, snr_db=point.snr_db, protection=point.protection)
 

@@ -274,6 +274,70 @@ class TestAdaptiveStopping:
             )
 
 
+class TestLinkCacheLru:
+    """The per-process link memo is a bounded LRU (long-lived workers)."""
+
+    @pytest.fixture()
+    def patched_tasks(self, monkeypatch):
+        from repro.runner import tasks
+
+        class FakeLink:
+            def __init__(self, config, use_rake=False):
+                self.config = config
+                self.use_rake = use_rake
+
+        monkeypatch.setattr(tasks, "HspaLikeLink", FakeLink)
+        monkeypatch.setattr(tasks, "LINK_CACHE_MAX_ENTRIES", 3)
+        tasks._LINK_CACHE.clear()
+        yield tasks
+        tasks._LINK_CACHE.clear()
+
+    @staticmethod
+    def _configs(count):
+        return [
+            LinkConfig(
+                payload_bits=56 + 8 * index,
+                crc_bits=16,
+                turbo_iterations=3,
+                max_transmissions=2,
+            )
+            for index in range(count)
+        ]
+
+    def test_hit_returns_cached_instance(self, patched_tasks):
+        config = self._configs(1)[0]
+        first = patched_tasks._cached_link(config)
+        assert patched_tasks._cached_link(config) is first
+        assert len(patched_tasks._LINK_CACHE) == 1
+
+    def test_rake_variant_is_a_distinct_entry(self, patched_tasks):
+        config = self._configs(1)[0]
+        plain = patched_tasks._cached_link(config)
+        rake = patched_tasks._cached_link(config, use_rake=True)
+        assert plain is not rake
+        assert patched_tasks._cached_link(config, use_rake=True) is rake
+
+    def test_capacity_is_bounded_and_lru_evicted(self, patched_tasks):
+        configs = self._configs(4)
+        links = [patched_tasks._cached_link(config) for config in configs[:3]]
+        assert len(patched_tasks._LINK_CACHE) == 3
+        # Refresh config 0 so config 1 becomes least-recently used.
+        assert patched_tasks._cached_link(configs[0]) is links[0]
+        patched_tasks._cached_link(configs[3])
+        assert len(patched_tasks._LINK_CACHE) == 3
+        assert (configs[1], False) not in patched_tasks._LINK_CACHE
+        # The refreshed entry survived; the evicted one is rebuilt anew.
+        assert patched_tasks._cached_link(configs[0]) is links[0]
+        assert patched_tasks._cached_link(configs[1]) is not links[1]
+
+    def test_default_cap_covers_a_whole_experiment(self):
+        from repro.runner.tasks import LINK_CACHE_MAX_ENTRIES
+
+        # Fig. 9 sweeps one configuration per LLR bit-width; the cap must
+        # comfortably exceed any stock sweep so runs never thrash.
+        assert LINK_CACHE_MAX_ENTRIES >= 8
+
+
 class TestMergeStatistics:
     def test_merge_equals_single_aggregate(self):
         parts = [

@@ -187,3 +187,156 @@ class TestCliMain:
     def test_cache_subcommand(self, tmp_path, capsys):
         assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
         assert "empty" in capsys.readouterr().out
+
+    def test_run_execution_backend_is_byte_identical_and_not_in_identity(
+        self, tmp_path, capsys
+    ):
+        serial_out = tmp_path / "serial.json"
+        process_out = tmp_path / "process.json"
+        args = ["run", "fig2", "--scale", "smoke", "--no-cache"]
+        assert main(args + ["--out", str(serial_out)]) == 0
+        assert (
+            main(
+                args
+                + [
+                    "--execution-backend",
+                    "process",
+                    "--workers",
+                    "2",
+                    "--out",
+                    str(process_out),
+                ]
+            )
+            == 0
+        )
+        payload = serial_out.read_bytes()
+        assert payload == process_out.read_bytes()
+        # Execution topology is not physics: nothing in the artefact may
+        # record the backend or worker count.
+        assert b"execution" not in payload and b"workers" not in payload
+
+    def test_worker_subcommand_parses(self):
+        from repro.runner.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["worker", "--connect", "127.0.0.1:9", "--once"]
+        )
+        assert args.command == "worker"
+        assert args.connect == "127.0.0.1:9"
+        assert args.once
+
+    def test_named_backend_scales_workers_to_cpus(self):
+        from repro.runner.backends import default_workers
+        from repro.runner.cli import build_parser, make_runner
+
+        args = build_parser().parse_args(
+            ["run", "fig2", "--execution-backend", "process"]
+        )
+        with make_runner(args) as runner:
+            # Naming a backend means "use it" — not a degenerate 1-worker
+            # pool that silently executes inline.
+            assert runner.workers == default_workers()
+            assert runner.backend.name == "process"
+
+    def test_default_flags_still_mean_serial(self):
+        from repro.runner.cli import build_parser, make_runner
+
+        args = build_parser().parse_args(["run", "fig2"])
+        with make_runner(args) as runner:
+            assert runner.is_serial
+
+    def test_workers_zero_still_means_parallel_auto(self):
+        from repro.runner.backends import default_workers
+        from repro.runner.cli import build_parser, make_runner
+
+        args = build_parser().parse_args(["run", "fig2", "--workers", "0"])
+        with make_runner(args) as runner:
+            assert runner.backend.name == "process"
+            assert runner.workers == default_workers()
+
+    def test_socket_flags_without_socket_backend_are_rejected(self, capsys):
+        assert (
+            main(["run", "fig2", "--socket-workers", "4", "--no-cache"]) == 2
+        )
+        assert "--execution-backend socket" in capsys.readouterr().err
+
+    def test_run_experiment_rejects_runner_plus_topology_kwargs(self):
+        from repro.runner.parallel import ParallelRunner
+
+        with pytest.raises(ValueError, match="not both"):
+            run_experiment(
+                "fig2", runner=ParallelRunner.serial(), execution_backend="socket"
+            )
+
+
+class TestCacheLsClear:
+    @staticmethod
+    def _populate(tmp_path):
+        cache_dir = tmp_path / "cache"
+        for experiment in ("fig3", "fig5"):
+            assert main(["run", experiment, "--cache-dir", str(cache_dir)]) == 0
+        return cache_dir
+
+    def test_ls_lists_digests_and_identity(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "fig3" in output and "fig5" in output
+        assert "scale=smoke" in output and "seed=2012" in output
+
+    def test_ls_filters_by_experiment(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["cache", "ls", "--experiment", "fig3", "--cache-dir", str(cache_dir)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "fig3" in output and "fig5" not in output
+
+    def test_clear_one_experiment_keeps_the_rest(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["cache", "clear", "--experiment", "fig3", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert "removed 1 cached run(s) for fig3" in capsys.readouterr().out
+        assert ResultCache(cache_dir).entries() == {"fig5": 1}
+
+    def test_clear_everything_prunes_directories(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 2 cached run(s)" in capsys.readouterr().out
+        assert ResultCache(cache_dir).entries() == {}
+        assert not any(cache_dir.iterdir())
+
+    def test_resultcache_clear_api(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        outcome = run_experiment("fig3")
+        cache.store("fig3", "aaaa", identity={}, tables=outcome.tables)
+        cache.store("fig6", "bbbb", identity={}, tables=outcome.tables)
+        assert [(e, d) for e, d, _ in cache.iter_entries()] == [
+            ("fig3", "aaaa"),
+            ("fig6", "bbbb"),
+        ]
+        assert cache.clear("fig3") == 1
+        assert cache.entries() == {"fig6": 1}
+        assert cache.clear() == 1
+        assert cache.entries() == {}
+
+
+class TestExecutionBackendThreading:
+    def test_run_experiment_accepts_backend_name(self):
+        serial = run_experiment("fig2", "smoke", 7)
+        threaded = run_experiment("fig2", "smoke", 7, workers=2, execution_backend="process")
+        assert (
+            serial.tables["table"].to_json() == threaded.tables["table"].to_json()
+        )
+
+    def test_driver_accepts_backend_name_as_runner(self):
+        from repro.experiments import fig2_bler_vs_harq
+
+        serial = fig2_bler_vs_harq.run("smoke", seed=7)
+        named = fig2_bler_vs_harq.run("smoke", seed=7, runner="serial")
+        assert serial.to_json() == named.to_json()
