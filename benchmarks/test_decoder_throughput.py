@@ -228,7 +228,10 @@ def test_decoder_throughput_benchmark():
         results["numpy"][DEFAULT_AGGREGATE_PACKETS] / results["seed"][BATCH_SIZES[0]]
     )
 
-    payload = {
+    # Read-modify-write: other benchmarks (the link llr_dtype one below)
+    # own their own sections of the same file — never clobber them.
+    payload = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    payload.update({
         "block_size": k,
         "num_iterations": iterations,
         "batch_sizes": list(workload.batches),
@@ -240,7 +243,7 @@ def test_decoder_throughput_benchmark():
         "aggregated_pipeline_speedup": aggregated_speedup,
         "aggregate_packets": DEFAULT_AGGREGATE_PACKETS,
         "available_backends": list(available_backends()),
-    }
+    })
     BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     print()
@@ -256,3 +259,60 @@ def test_decoder_throughput_benchmark():
         for batch in workload.batches:
             floor = 3.0 if batch >= DEFAULT_AGGREGATE_PACKETS else 2.5
             assert speedup_vs_seed["numpy"][str(batch)] >= floor, payload
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end link-LLR dtype benchmark (the opt-in LinkConfig.llr_dtype mode)
+# --------------------------------------------------------------------------- #
+LINK_BENCH_PACKETS = 16
+LINK_BENCH_SNR_DB = 14.0
+LINK_BENCH_SEED = 2012
+
+
+def test_link_llr_dtype_benchmark():
+    """Measure the float32 end-to-end link-LLR mode against the default.
+
+    Times full packet lifetimes (transmit -> channel -> equalize -> demap ->
+    HARQ buffer -> decode) at one mid-range SNR for the float64 default and
+    the opt-in ``llr_dtype="float32"`` + ``numpy-f32`` decoder pairing, and
+    records packets-per-second (and the speedup ratio) under the
+    ``link_llr_dtype`` key of ``BENCH_decoder.json``.  Non-gating on speed:
+    the mode trades precision for memory traffic, and wall-clock ratios are
+    flaky on shared machines — the assertion is only that both modes run.
+    """
+    from repro.experiments.scales import SCALES as ALL_SCALES
+    from repro.link.system import HspaLikeLink
+
+    scale = ALL_SCALES[os.environ.get("REPRO_BENCH_SCALE", "smoke")]
+    modes = {
+        "float64": scale.link_config(),
+        "float32": scale.link_config(llr_dtype="float32", decoder_backend="numpy-f32"),
+    }
+    throughput = {}
+    for mode, config in modes.items():
+        link = HspaLikeLink(config)
+        link.simulate_packets(LINK_BENCH_PACKETS, LINK_BENCH_SNR_DB, rng=LINK_BENCH_SEED)
+        best = float("inf")
+        for _group in range(3):
+            start = time.perf_counter()
+            link.simulate_packets(
+                LINK_BENCH_PACKETS, LINK_BENCH_SNR_DB, rng=LINK_BENCH_SEED
+            )
+            best = min(best, time.perf_counter() - start)
+        throughput[mode] = LINK_BENCH_PACKETS / best
+
+    section = {
+        "packets_per_second": throughput,
+        "speedup_f32_vs_f64": throughput["float32"] / throughput["float64"],
+        "num_packets": LINK_BENCH_PACKETS,
+        "snr_db": LINK_BENCH_SNR_DB,
+    }
+    payload = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    payload["link_llr_dtype"] = section
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print()
+    for mode, value in throughput.items():
+        print(f"link llr_dtype={mode}: {value:8.1f} packets/s")
+    print(f"float32 vs float64: {section['speedup_f32_vs_f64']:.2f}x")
+    assert all(v > 0 for v in throughput.values())

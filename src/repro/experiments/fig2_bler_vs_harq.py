@@ -8,6 +8,12 @@ the HARQ unit increases the decoding probability after each retransmission").
 The paper's SNR anchors are 3, 11 and 29 dB on its testbed; the same three
 regimes are reproduced here relative to this simulator's operating range
 (deep outage, mid-range, and first-transmission-success SNR).
+
+The sweep is declared as a ``kind="bler"`` scenario (an SNR-regime axis over
+the defect-free link) and executed through the shared
+:func:`~repro.scenarios.engine.run_scenario_grid` engine: each regime's
+packet budget is sharded into fixed chunks seeded by ``(regime, chunk)``
+spawn keys, so results depend on neither the worker count nor the backend.
 """
 
 from __future__ import annotations
@@ -15,19 +21,50 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.core.results import SweepTable
-from repro.experiments.scales import Scale, get_scale
-from repro.harq.metrics import merge_statistics
-from repro.runner.parallel import ParallelRunner, runner_scope
-from repro.runner.tasks import (
-    LinkChunkTask,
-    group_tasks_for_batching,
-    simulate_link_chunk_batch,
-    split_packets,
-)
-from repro.utils.rng import RngLike, resolve_entropy
+from repro.experiments.scales import Scale
+from repro.runner.parallel import ParallelRunner
+from repro.scenarios.engine import ScenarioOutcome, run_scenario_grid
+from repro.scenarios.spec import ScenarioSpec, SweepAxis
+from repro.utils.rng import RngLike
 
 #: SNR regimes (dB): low (outage), medium, high (mostly first-transmission success).
 SNR_REGIMES_DB = (8.0, 16.0, 26.0)
+
+
+def _present(outcome: ScenarioOutcome) -> SweepTable:
+    """Build the Fig. 2 table from the executed scenario grid."""
+    table = SweepTable(
+        title="Fig. 2 — decoding failure probability vs HARQ transmission",
+        columns=["snr_db", "transmission", "failure_probability", "attempts"],
+        metadata={
+            "scale": outcome.scale.name,
+            "config": outcome.base_config.describe(),
+            "seed": outcome.entropy,
+        },
+    )
+    for cell, statistics in zip(outcome.cells, outcome.statistics):
+        probabilities = statistics.failure_probability_per_transmission()
+        attempts = statistics.attempts_per_transmission
+        for transmission_index, probability in enumerate(probabilities):
+            table.add_row(
+                snr_db=float(cell.values["snr_db"]),
+                transmission=transmission_index + 1,
+                failure_probability=float(probability),
+                attempts=int(attempts[transmission_index]),
+            )
+    return table
+
+
+#: Fig. 2 as a declarative scenario: defect-free link, one SNR-regime axis.
+SCENARIO = ScenarioSpec(
+    name="fig2",
+    title="Fig. 2 — decoding failure probability vs HARQ transmission",
+    summary="defect-free HARQ failure probability at three SNR regimes",
+    kind="bler",
+    experiment="fig2",
+    axes=(SweepAxis("snr_db", SNR_REGIMES_DB),),
+    presenter=_present,
+)
 
 
 def run(
@@ -50,9 +87,7 @@ def run(
     runner:
         Execution strategy: a :class:`ParallelRunner`, an execution-backend
         name (``"serial"``, ``"process"``, ``"socket"``) or ``None``
-        (in-process serial).  The packet budget of each regime is sharded
-        into fixed chunks seeded by ``(regime, chunk)`` spawn keys, so
-        results depend on neither the worker count nor the backend.
+        (in-process serial).
 
     Returns
     -------
@@ -60,53 +95,13 @@ def run(
         One row per (SNR regime, transmission index) with the conditional
         decoding-failure probability after that transmission.
     """
-    resolved = get_scale(scale)
-    config = resolved.link_config(decoder_backend=decoder_backend)
-    entropy = resolve_entropy(seed)
-
-    regimes = [float(snr) for snr in snr_regimes_db]
-    chunk_sizes = split_packets(resolved.num_packets)
-    tasks = [
-        LinkChunkTask(
-            config=config,
-            snr_db=snr_db,
-            num_packets=chunk_packets,
-            entropy=entropy,
-            key=(regime_index, chunk_index),
-        )
-        for regime_index, snr_db in enumerate(regimes)
-        for chunk_index, chunk_packets in enumerate(chunk_sizes)
-    ]
-    # Chunks are pooled into cross-work-item decode batches; flattening the
-    # grouped results restores task order, so the reduction below is
-    # unchanged from the per-task path.
-    with runner_scope(runner) as active_runner:
-        chunk_statistics = [
-            statistics
-            for batch in active_runner.map(
-                simulate_link_chunk_batch, group_tasks_for_batching(tasks)
-            )
-            for statistics in batch
-        ]
-
-    table = SweepTable(
-        title="Fig. 2 — decoding failure probability vs HARQ transmission",
-        columns=["snr_db", "transmission", "failure_probability", "attempts"],
-        metadata={"scale": resolved.name, "config": config.describe(), "seed": entropy},
+    spec = SCENARIO.with_axis_values(
+        snr_db=tuple(float(snr) for snr in snr_regimes_db)
     )
-    for regime_index, snr_db in enumerate(regimes):
-        start = regime_index * len(chunk_sizes)
-        statistics = merge_statistics(chunk_statistics[start : start + len(chunk_sizes)])
-        probabilities = statistics.failure_probability_per_transmission()
-        attempts = statistics.attempts_per_transmission
-        for transmission_index, probability in enumerate(probabilities):
-            table.add_row(
-                snr_db=snr_db,
-                transmission=transmission_index + 1,
-                failure_probability=float(probability),
-                attempts=int(attempts[transmission_index]),
-            )
-    return table
+    outcome = run_scenario_grid(
+        spec, scale, seed, runner=runner, decoder_backend=decoder_backend
+    )
+    return _present(outcome)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -51,5 +51,18 @@ def run(
     return table
 
 
+from repro.scenarios.spec import ScenarioSpec  # noqa: E402  (spec needs `run`)
+
+#: Fig. 3 as a declarative (analytical) scenario.
+SCENARIO = ScenarioSpec(
+    name="fig3",
+    title="Fig. 3 — cell failure probability vs supply voltage",
+    summary="calibrated 6T/6T-upsized/8T bit-cell failure curves (analytical)",
+    kind="analytical",
+    experiment="fig3",
+    analytic=run,
+)
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper
     run().print()

@@ -78,6 +78,19 @@ def run(
     return {"curves": curves, "targets": targets}
 
 
+from repro.scenarios.spec import ScenarioSpec  # noqa: E402  (spec needs `run`)
+
+#: Fig. 5 as a declarative (analytical) scenario.
+SCENARIO = ScenarioSpec(
+    name="fig5",
+    title="Fig. 5 — array yield vs accepted defect count",
+    summary="yield of a 200 Kb array accepting Nf faulty cells (analytical)",
+    kind="analytical",
+    experiment="fig5",
+    analytic=run,
+)
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper
     tables = run()
     tables["targets"].print()

@@ -8,18 +8,63 @@ observations of Section 5:
   defect-free system, and
 * beyond the critical rate the corrupted LLRs dominate over channel noise,
   the average number of transmissions climbs and throughput collapses.
+
+The sweep is declared as a scenario grid (defect-rate x SNR axes over the
+default link) and executed through the shared
+:func:`~repro.scenarios.engine.run_scenario_grid` engine; only the table
+construction is figure-specific.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
-from repro.core.protection import NoProtection
 from repro.core.results import SweepTable
-from repro.experiments.scales import Scale, get_scale
-from repro.runner.parallel import ParallelRunner, runner_scope
-from repro.runner.tasks import GridPoint, resolve_adaptive, run_fault_map_grid
-from repro.utils.rng import RngLike, resolve_entropy
+from repro.experiments.scales import Scale
+from repro.runner.parallel import ParallelRunner
+from repro.scenarios.engine import ScenarioOutcome, run_scenario_grid
+from repro.scenarios.spec import ScenarioSpec, SweepAxis
+from repro.utils.rng import RngLike
+
+
+def _present(outcome: ScenarioOutcome) -> SweepTable:
+    """Build the Fig. 6 table from the executed scenario grid."""
+    config = outcome.base_config
+    protection_name = "unprotected-6T"
+    table = SweepTable(
+        title="Fig. 6 — throughput and transmissions vs SNR for defect rates (unprotected 6T)",
+        columns=["defect_rate", "snr_db", "throughput", "avg_transmissions", "bler"],
+        metadata={
+            "protection": protection_name,
+            "config": config.describe(),
+            "num_packets": outcome.scale.num_packets,
+            "num_fault_maps": outcome.scale.num_fault_maps,
+            "scale": outcome.scale.name,
+            "seed": outcome.entropy,
+        },
+    )
+    for cell, point in zip(outcome.cells, outcome.points):
+        table.add_row(
+            defect_rate=float(cell.values["defect_rate"]),
+            snr_db=point.snr_db,
+            throughput=point.normalized_throughput,
+            avg_transmissions=point.average_transmissions,
+            bler=point.block_error_rate,
+        )
+    return table
+
+
+#: Fig. 6 as a declarative scenario: the default link, no protection, a
+#: defect-rate axis (outer) and an SNR axis (inner), both scale-derived.
+SCENARIO = ScenarioSpec(
+    name="fig6",
+    title="Fig. 6 — throughput and transmissions vs SNR under defect rates",
+    summary="unprotected 6T array swept over defect rates and SNR",
+    kind="fault",
+    experiment="fig6",
+    axes=(SweepAxis("defect_rate"), SweepAxis("snr_db")),
+    presenter=_present,
+)
 
 
 def run(
@@ -44,55 +89,14 @@ def run(
     :class:`~repro.runner.tasks.AdaptiveStopping`) lets confidently-resolved
     points stop before the full packet budget.
     """
-    resolved = get_scale(scale)
-    config = resolved.link_config(decoder_backend=decoder_backend)
-    protection = NoProtection(bits_per_word=config.llr_bits)
-    entropy = resolve_entropy(seed)
-
-    rates = [float(r) for r in (defect_rates if defect_rates is not None else resolved.defect_rates)]
-    snrs = [float(s) for s in (snr_points_db if snr_points_db is not None else resolved.snr_points_db)]
-    grid = [
-        GridPoint(
-            key_prefix=(rate_index, snr_index),
-            config=config,
-            protection=protection,
-            snr_db=snrs[snr_index],
-            defect_rate=rates[rate_index],
-        )
-        for rate_index in range(len(rates))
-        for snr_index in range(len(snrs))
-    ]
-    with runner_scope(runner) as active_runner:
-        merged = run_fault_map_grid(
-            active_runner,
-            grid,
-            num_packets=resolved.num_packets,
-            num_fault_maps=resolved.num_fault_maps,
-            entropy=entropy,
-            adaptive=resolve_adaptive(adaptive),
-        )
-
-    table = SweepTable(
-        title="Fig. 6 — throughput and transmissions vs SNR for defect rates (unprotected 6T)",
-        columns=["defect_rate", "snr_db", "throughput", "avg_transmissions", "bler"],
-        metadata={
-            "protection": protection.name,
-            "config": config.describe(),
-            "num_packets": resolved.num_packets,
-            "num_fault_maps": resolved.num_fault_maps,
-            "scale": resolved.name,
-            "seed": entropy,
-        },
+    spec = SCENARIO.with_axis_values(
+        defect_rate=None if defect_rates is None else tuple(float(r) for r in defect_rates),
+        snr_db=None if snr_points_db is None else tuple(float(s) for s in snr_points_db),
     )
-    for grid_point, point in zip(grid, merged):
-        table.add_row(
-            defect_rate=grid_point.defect_rate,
-            snr_db=point.snr_db,
-            throughput=point.normalized_throughput,
-            avg_transmissions=point.average_transmissions,
-            bler=point.block_error_rate,
-        )
-    return table
+    outcome = run_scenario_grid(
+        spec, scale, seed, runner=runner, decoder_backend=decoder_backend, adaptive=adaptive
+    )
+    return _present(outcome)
 
 
 def throughput_requirement_check(

@@ -6,6 +6,11 @@ reports throughput gain (relative to the defect-free system), hybrid-array
 area overhead and their ratio — reproducing the conclusion that protecting
 4 bits (~12-13 % overhead with 8T cells) is the optimum and that full ECC is
 less efficient.
+
+The sweep is declared as a scenario grid (a protection-depth axis plus the
+prepended defect-free reference cell) and executed through the shared
+:func:`~repro.scenarios.engine.run_scenario_grid` engine; the efficiency
+arithmetic stays in the presenter.
 """
 
 from __future__ import annotations
@@ -13,15 +18,80 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from repro.core.efficiency import ProtectionEfficiencyAnalysis, ProtectionEfficiencyPoint
-from repro.core.protection import msb_protection_scheme
 from repro.core.results import SweepTable
-from repro.experiments.scales import Scale, get_scale
-from repro.runner.parallel import ParallelRunner, runner_scope
-from repro.runner.tasks import GridPoint, resolve_adaptive, run_fault_map_grid
-from repro.utils.rng import RngLike, resolve_entropy
+from repro.experiments.scales import Scale
+from repro.runner.parallel import ParallelRunner
+from repro.scenarios.engine import ScenarioOutcome, run_scenario_grid
+from repro.scenarios.spec import ScenarioSpec, SweepAxis
+from repro.utils.rng import RngLike
 
 #: Protection depths evaluated along the Fig. 8 x-axis.
 DEFAULT_PROTECTED_BITS = (1, 2, 3, 4, 6, 8, 10)
+
+
+def _present(outcome: ScenarioOutcome) -> dict:
+    """Build the Fig. 8 tables (sweep, optimum depth, ECC comparison)."""
+    config = outcome.base_config
+    spec = outcome.spec
+    analysis = ProtectionEfficiencyAnalysis(
+        config, num_fault_maps=outcome.scale.num_fault_maps
+    )
+    reference = outcome.points[0].normalized_throughput
+    counts = [int(cell.values["protected_bits"]) for cell in outcome.cells[1:]]
+    points = []
+    for count, merged in zip(counts, outcome.points[1:]):
+        overhead = analysis.area_model.hybrid_overhead(config.llr_bits, count)
+        gain = merged.normalized_throughput / reference if reference > 0 else float("nan")
+        points.append(
+            ProtectionEfficiencyPoint(
+                protected_bits=count,
+                throughput=merged.normalized_throughput,
+                throughput_gain=gain,
+                area_overhead=overhead,
+                efficiency=gain / overhead if overhead > 0 else float("nan"),
+            )
+        )
+
+    table = SweepTable(
+        title=f"Fig. 8 — protection efficiency at {spec.snr_db:.0f} dB, {spec.defect_rate:.0%} defects",
+        columns=["protected_bits", "throughput", "throughput_gain", "area_overhead", "efficiency"],
+        metadata={
+            "scale": outcome.scale.name,
+            "snr_db": spec.snr_db,
+            "defect_rate": spec.defect_rate,
+            "seed": outcome.entropy,
+        },
+    )
+    for point in points:
+        table.add_row(
+            protected_bits=point.protected_bits,
+            throughput=point.throughput,
+            throughput_gain=point.throughput_gain,
+            area_overhead=point.area_overhead,
+            efficiency=point.efficiency,
+        )
+    return {
+        "table": table,
+        "optimum_bits": analysis.optimum_protection_depth(points),
+        "ecc": analysis.ecc_comparison(),
+    }
+
+
+#: Fig. 8 as a declarative scenario: one protection-depth axis at a fixed
+#: (SNR, defect-rate) operating point, plus the defect-free reference cell
+#: (spawn key 0; axis cells are keyed 1 + i — the historical layout).
+SCENARIO = ScenarioSpec(
+    name="fig8",
+    title="Fig. 8 — protection efficiency (throughput gain per area overhead)",
+    summary="protection-depth efficiency sweep against the defect-free reference",
+    kind="fault",
+    experiment="fig8",
+    snr_db=14.0,
+    defect_rate=0.10,
+    axes=(SweepAxis("protected_bits", DEFAULT_PROTECTED_BITS),),
+    reference_point=True,
+    presenter=_present,
+)
 
 
 def run(
@@ -38,7 +108,7 @@ def run(
 
     The defect-free reference and every protection depth become independent
     work items (one per fault map), so the whole figure parallelises; the
-    efficiency arithmetic stays in the driver.
+    efficiency arithmetic stays in the presenter.
 
     Returns
     -------
@@ -47,79 +117,13 @@ def run(
         efficiency sweep, the optimum protection depth it implies, and the
         Section 6.2 ECC-overhead comparison.
     """
-    resolved = get_scale(scale)
-    config = resolved.link_config(decoder_backend=decoder_backend)
-    analysis = ProtectionEfficiencyAnalysis(config, num_fault_maps=resolved.num_fault_maps)
-    entropy = resolve_entropy(seed)
-    counts = [int(c) for c in protected_bit_counts]
-
-    # Work item coordinates: 0 is the defect-free reference, 1 + i the i-th
-    # protection depth of the sweep.
-    grid = [
-        GridPoint(
-            key_prefix=(0,),
-            config=config,
-            protection=msb_protection_scheme(config.llr_bits, 0),
-            snr_db=float(snr_db),
-            defect_rate=0.0,
-        )
-    ] + [
-        GridPoint(
-            key_prefix=(1 + count_index,),
-            config=config,
-            protection=msb_protection_scheme(config.llr_bits, count),
-            snr_db=float(snr_db),
-            defect_rate=float(defect_rate),
-        )
-        for count_index, count in enumerate(counts)
-    ]
-    with runner_scope(runner) as active_runner:
-        merged = run_fault_map_grid(
-            active_runner,
-            grid,
-            num_packets=resolved.num_packets,
-            num_fault_maps=resolved.num_fault_maps,
-            entropy=entropy,
-            adaptive=resolve_adaptive(adaptive),
-        )
-    reference = merged[0].normalized_throughput
-    points = []
-    for count, outcome in zip(counts, merged[1:]):
-        overhead = analysis.area_model.hybrid_overhead(config.llr_bits, count)
-        gain = outcome.normalized_throughput / reference if reference > 0 else float("nan")
-        points.append(
-            ProtectionEfficiencyPoint(
-                protected_bits=count,
-                throughput=outcome.normalized_throughput,
-                throughput_gain=gain,
-                area_overhead=overhead,
-                efficiency=gain / overhead if overhead > 0 else float("nan"),
-            )
-        )
-
-    table = SweepTable(
-        title=f"Fig. 8 — protection efficiency at {snr_db:.0f} dB, {defect_rate:.0%} defects",
-        columns=["protected_bits", "throughput", "throughput_gain", "area_overhead", "efficiency"],
-        metadata={
-            "scale": resolved.name,
-            "snr_db": snr_db,
-            "defect_rate": defect_rate,
-            "seed": entropy,
-        },
+    spec = SCENARIO.with_updates(
+        snr_db=float(snr_db), defect_rate=float(defect_rate)
+    ).with_axis_values(protected_bits=tuple(int(c) for c in protected_bit_counts))
+    outcome = run_scenario_grid(
+        spec, scale, seed, runner=runner, decoder_backend=decoder_backend, adaptive=adaptive
     )
-    for point in points:
-        table.add_row(
-            protected_bits=point.protected_bits,
-            throughput=point.throughput,
-            throughput_gain=point.throughput_gain,
-            area_overhead=point.area_overhead,
-            efficiency=point.efficiency,
-        )
-    return {
-        "table": table,
-        "optimum_bits": analysis.optimum_protection_depth(points),
-        "ecc": analysis.ecc_comparison(),
-    }
+    return _present(outcome)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -6,6 +6,11 @@ enlarge the LLR storage, so at a fixed defect *rate* they accumulate more
 faulty cells — reproducing the paper's counter-intuitive result that the
 narrower 10-bit quantization delivers the better throughput once circuit
 faults are part of the design space.
+
+The sweep is declared as a scenario grid (LLR-width x SNR axes at a fixed
+defect rate; each width resolves to its own link configuration, which the
+workers memoise per process) and executed through the shared
+:func:`~repro.scenarios.engine.run_scenario_grid` engine.
 """
 
 from __future__ import annotations
@@ -13,15 +18,75 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from repro.core.bitwidth import BitWidthAnalysis, BitWidthPoint
-from repro.core.protection import NoProtection
 from repro.core.results import SweepTable
-from repro.experiments.scales import Scale, get_scale
-from repro.runner.parallel import ParallelRunner, runner_scope
-from repro.runner.tasks import GridPoint, resolve_adaptive, run_fault_map_grid
-from repro.utils.rng import RngLike, resolve_entropy
+from repro.experiments.scales import Scale
+from repro.runner.parallel import ParallelRunner
+from repro.scenarios.engine import ScenarioOutcome, run_scenario_grid
+from repro.scenarios.spec import ScenarioSpec, SweepAxis, resolve_link_config
+from repro.utils.rng import RngLike
 
 #: LLR word widths of the paper's Fig. 9.
 DEFAULT_WIDTHS = (10, 11, 12)
+
+
+def _present(outcome: ScenarioOutcome) -> dict:
+    """Build the Fig. 9 tables from the executed scenario grid."""
+    defect_rate = outcome.spec.defect_rate
+    analysis = BitWidthAnalysis(
+        outcome.base_config, num_fault_maps=outcome.scale.num_fault_maps
+    )
+    points = []
+    for cell, merged in zip(outcome.cells, outcome.points):
+        cell_config = resolve_link_config(cell.spec, outcome.scale)
+        points.append(
+            BitWidthPoint(
+                llr_bits=cell_config.llr_bits,
+                snr_db=merged.snr_db,
+                defect_rate=defect_rate,
+                storage_cells=cell_config.llr_storage_cells,
+                num_faults=merged.num_faults,
+                throughput=merged.normalized_throughput,
+                average_transmissions=merged.average_transmissions,
+            )
+        )
+
+    table = SweepTable(
+        title=f"Fig. 9 — throughput vs LLR bit-width at {defect_rate:.0%} defects (no protection)",
+        columns=[
+            "llr_bits",
+            "snr_db",
+            "storage_cells",
+            "num_faults",
+            "throughput",
+            "avg_transmissions",
+        ],
+        metadata={"defect_rate": defect_rate, "seed": outcome.entropy},
+    )
+    for point in points:
+        table.add_row(
+            llr_bits=point.llr_bits,
+            snr_db=point.snr_db,
+            storage_cells=point.storage_cells,
+            num_faults=point.num_faults,
+            throughput=point.throughput,
+            avg_transmissions=point.average_transmissions,
+        )
+    table.metadata["scale"] = outcome.scale.name
+    return {"table": table, "best_width_per_snr": analysis.best_width_per_snr(points)}
+
+
+#: Fig. 9 as a declarative scenario: an LLR-width axis (outer) and a
+#: scale-derived SNR axis (inner) at a 10 % defect rate, no protection.
+SCENARIO = ScenarioSpec(
+    name="fig9",
+    title="Fig. 9 — throughput vs LLR bit-width at 10% defects",
+    summary="LLR quantization-width sweep on the unprotected array",
+    kind="fault",
+    experiment="fig9",
+    defect_rate=0.10,
+    axes=(SweepAxis("llr_bits", DEFAULT_WIDTHS), SweepAxis("snr_db")),
+    presenter=_present,
+)
 
 
 def run(
@@ -45,71 +110,14 @@ def run(
     dict
         ``{"table": SweepTable, "best_width_per_snr": dict}``.
     """
-    resolved = get_scale(scale)
-    base_config = resolved.link_config(decoder_backend=decoder_backend)
-    analysis = BitWidthAnalysis(base_config, num_fault_maps=resolved.num_fault_maps)
-    entropy = resolve_entropy(seed)
-    widths = [int(w) for w in llr_widths]
-    snrs = [float(s) for s in (snr_points_db if snr_points_db is not None else resolved.snr_points_db)]
-
-    grid = [
-        GridPoint(
-            key_prefix=(width_index, snr_index),
-            config=base_config.with_updates(llr_bits=widths[width_index]),
-            protection=NoProtection(bits_per_word=widths[width_index]),
-            snr_db=snrs[snr_index],
-            defect_rate=float(defect_rate),
-        )
-        for width_index in range(len(widths))
-        for snr_index in range(len(snrs))
-    ]
-    with runner_scope(runner) as active_runner:
-        merged_points = run_fault_map_grid(
-            active_runner,
-            grid,
-            num_packets=resolved.num_packets,
-            num_fault_maps=resolved.num_fault_maps,
-            entropy=entropy,
-            adaptive=resolve_adaptive(adaptive),
-        )
-
-    points = []
-    for grid_point, merged in zip(grid, merged_points):
-        points.append(
-            BitWidthPoint(
-                llr_bits=grid_point.config.llr_bits,
-                snr_db=merged.snr_db,
-                defect_rate=defect_rate,
-                storage_cells=grid_point.config.llr_storage_cells,
-                num_faults=merged.num_faults,
-                throughput=merged.normalized_throughput,
-                average_transmissions=merged.average_transmissions,
-            )
-        )
-
-    table = SweepTable(
-        title=f"Fig. 9 — throughput vs LLR bit-width at {defect_rate:.0%} defects (no protection)",
-        columns=[
-            "llr_bits",
-            "snr_db",
-            "storage_cells",
-            "num_faults",
-            "throughput",
-            "avg_transmissions",
-        ],
-        metadata={"defect_rate": defect_rate, "seed": entropy},
+    spec = SCENARIO.with_updates(defect_rate=float(defect_rate)).with_axis_values(
+        llr_bits=tuple(int(w) for w in llr_widths),
+        snr_db=None if snr_points_db is None else tuple(float(s) for s in snr_points_db),
     )
-    for point in points:
-        table.add_row(
-            llr_bits=point.llr_bits,
-            snr_db=point.snr_db,
-            storage_cells=point.storage_cells,
-            num_faults=point.num_faults,
-            throughput=point.throughput,
-            avg_transmissions=point.average_transmissions,
-        )
-    table.metadata["scale"] = resolved.name
-    return {"table": table, "best_width_per_snr": analysis.best_width_per_snr(points)}
+    outcome = run_scenario_grid(
+        spec, scale, seed, runner=runner, decoder_backend=decoder_backend, adaptive=adaptive
+    )
+    return _present(outcome)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -83,5 +83,18 @@ def run(
     return table
 
 
+from repro.scenarios.spec import ScenarioSpec  # noqa: E402  (spec needs `run`)
+
+#: Section 6.3 as a declarative (analytical) scenario.
+SCENARIO = ScenarioSpec(
+    name="power_savings",
+    title="Section 6.3 — supply voltage and power savings of the HARQ LLR memory",
+    summary="minimum Vdd and power saving per storage scheme (analytical)",
+    kind="analytical",
+    experiment="power_savings",
+    analytic=run,
+)
+
+
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper
     run().print()

@@ -68,6 +68,13 @@ class LinkConfig:
         The default ``"numpy"`` is the deterministic float64 kernel whose
         output the golden-seed suite pins; ``"numba"``/``"auto"`` select the
         JIT backend when available, ``"numpy-f32"`` the float32 mode.
+    llr_dtype:
+        Floating-point dtype of the end-to-end link LLRs (``"float64"`` or
+        ``"float32"``).  The opt-in float32 mode halves the LLR memory
+        traffic between demapper, HARQ buffer and decoder; pair it with
+        ``decoder_backend="numpy-f32"`` to keep the whole receive chain in
+        single precision.  Non-default, so run identities and goldens are
+        untouched by its existence.
     """
 
     modulation: str = "64QAM"
@@ -86,6 +93,7 @@ class LinkConfig:
     interleaver_columns: int = 30
     buffer_architecture: str = "per-transmission"
     decoder_backend: str = "numpy"
+    llr_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.payload_bits, "payload_bits")
@@ -110,6 +118,10 @@ class LinkConfig:
             raise ValueError(
                 f"unknown channel profile {self.channel_profile!r}; "
                 f"choose from {sorted(PROFILES)}"
+            )
+        if self.llr_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"llr_dtype must be 'float64' or 'float32', got {self.llr_dtype!r}"
             )
         # Validates the token (raises on typos); availability is resolved at
         # decoder construction time, falling back to numpy if necessary.
@@ -184,6 +196,13 @@ class LinkConfig:
         return self.llr_storage_words * self.llr_bits
 
     @property
+    def llr_numpy_dtype(self):
+        """The numpy dtype of the end-to-end link LLRs."""
+        import numpy as np
+
+        return np.float32 if self.llr_dtype == "float32" else np.float64
+
+    @property
     def profile(self) -> PowerDelayProfile:
         """The resolved power delay profile object."""
         if isinstance(self.channel_profile, PowerDelayProfile):
@@ -205,6 +224,8 @@ class LinkConfig:
         backend = (
             "" if self.decoder_backend == "numpy" else f", decoder {self.decoder_backend}"
         )
+        dtype = "" if self.llr_dtype == "float64" else f", llr dtype {self.llr_dtype}"
+        backend += dtype
         return (
             f"{self.modulation}, K={self.block_size} bits "
             f"(payload {self.payload_bits} + CRC {self.crc_bits}), "

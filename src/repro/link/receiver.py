@@ -75,9 +75,18 @@ class Receiver:
         return symbols, effective_noise
 
     def demap(self, symbols: np.ndarray, effective_noise_variance: float) -> np.ndarray:
-        """Soft-demap equalized symbols into channel-bit LLRs."""
+        """Soft-demap equalized symbols into channel-bit LLRs.
+
+        The output dtype follows :attr:`LinkConfig.llr_dtype`, so the opt-in
+        float32 mode rounds the LLRs once here and keeps the rest of the
+        receive chain in single precision.
+        """
         llrs = self.config.modulator.demodulate_soft(symbols, effective_noise_variance)
-        return llrs[: self.config.channel_bits_per_transmission]
+        llrs = llrs[: self.config.channel_bits_per_transmission]
+        dtype = self.config.llr_numpy_dtype
+        if llrs.dtype != dtype:
+            llrs = llrs.astype(dtype)
+        return llrs
 
     def to_mother_domain(self, channel_llrs: np.ndarray, redundancy_version: int) -> np.ndarray:
         """De-interleave and de-rate-match one transmission's LLRs."""

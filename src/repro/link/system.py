@@ -247,6 +247,9 @@ class HspaLikeLink:
             )
             combined = state.buffer.combine_and_store(mother_llrs)
         state.transmissions += 1
+        dtype = self.config.llr_numpy_dtype
+        if combined.dtype != dtype:
+            combined = combined.astype(dtype)
         return combined
 
     def _finish_group(self, states: Sequence[_PacketState], snr_db: float) -> LinkSimulationResult:

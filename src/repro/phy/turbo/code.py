@@ -74,7 +74,13 @@ class TurboCode:
             1-D array of ``3 * block_size`` LLRs (systematic first, then the
             interlaced parity streams), or a 2-D batch of such arrays.
         """
-        arr = np.asarray(buffer_llrs, dtype=np.float64)
+        arr = np.asarray(buffer_llrs)
+        if arr.dtype != np.float32:
+            # float32 rows stay in single precision end-to-end (the backend
+            # casts to its own compute dtype); everything else keeps the
+            # historical float64 path bit-for-bit (zero-copy when the input
+            # is already float64).
+            arr = np.asarray(arr, dtype=np.float64)
         single = arr.ndim == 1
         if single:
             arr = arr[None, :]

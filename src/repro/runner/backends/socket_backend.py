@@ -53,11 +53,18 @@ class _WorkerConnection:
         self.send_lock = threading.Lock()
         #: Guards :attr:`outstanding`.
         self.lock = threading.Lock()
-        #: Tasks sent but not yet answered, by ``(round, index)``.
-        self.outstanding: Dict[Tuple[int, int], Tuple] = {}
+        #: Tasks sent but not yet answered: ``(round, index) -> (item, sent_at)``.
+        self.outstanding: Dict[Tuple[int, int], Tuple[Tuple, float]] = {}
         #: One credit per received reply; the dispatcher waits for a credit
         #: before sending the next task, so work is pulled, not pushed.
         self.credits = threading.Semaphore(0)
+        #: Monotonic time of the last frame received from this worker
+        #: (results, errors and heartbeats all count as liveness).
+        self.last_frame = time.monotonic()
+        #: Heartbeat cadence the worker advertised in its hello, or ``None``
+        #: for workers that do not heartbeat (staleness is then not enforced,
+        #: keeping long-running tasks on legacy daemons safe).
+        self.heartbeat_interval: Optional[float] = None
 
     def mark_dead(self) -> None:
         self.alive = False
@@ -84,9 +91,28 @@ class SocketDistributedBackend(ExecutionBackend):
     worker_timeout:
         Seconds :meth:`submit` tolerates having no connected worker (while
         work is pending) before raising.
+    task_timeout:
+        Optional per-task deadline in seconds: a dispatched work item whose
+        reply has not arrived within this window marks its worker dead and
+        is preemptively requeued to another worker (at-least-once
+        semantics make the re-execution safe).  ``None`` disables the
+        deadline — the right default when task durations are unbounded.
+    heartbeat_timeout:
+        Seconds without *any* frame (result or heartbeat) from a worker
+        that advertised heartbeating before it is declared hung and its
+        outstanding tasks requeued.  ``None`` derives the window from the
+        worker's advertised cadence (several missed beats); an explicit
+        value is floored at two of the worker's advertised beat intervals
+        (a window shorter than the cadence would retire healthy workers);
+        workers that never advertise heartbeats are exempt.
     """
 
     name = "socket"
+
+    #: Missed-beat multiple used when *heartbeat_timeout* is derived.
+    HEARTBEAT_TIMEOUT_BEATS = 4.0
+    #: Floor on the derived heartbeat timeout (absorbs scheduling jitter).
+    MIN_HEARTBEAT_TIMEOUT = 5.0
 
     def __init__(
         self,
@@ -95,6 +121,8 @@ class SocketDistributedBackend(ExecutionBackend):
         bind: str = "127.0.0.1:0",
         local_workers: Optional[int] = None,
         worker_timeout: float = 120.0,
+        task_timeout: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
@@ -106,9 +134,19 @@ class SocketDistributedBackend(ExecutionBackend):
             raise ValueError(f"local_workers must be non-negative, got {local_workers}")
         if worker_timeout <= 0:
             raise ValueError(f"worker_timeout must be positive, got {worker_timeout}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout}")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+            )
         self.bind_host, self.bind_port = parse_address(bind)
         self.local_workers = int(local_workers)
         self.worker_timeout = float(worker_timeout)
+        self.task_timeout = None if task_timeout is None else float(task_timeout)
+        self.heartbeat_timeout = (
+            None if heartbeat_timeout is None else float(heartbeat_timeout)
+        )
 
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -295,6 +333,14 @@ class SocketDistributedBackend(ExecutionBackend):
         if not hello or hello[0] != "hello":
             conn.sock.close()
             return
+        # ("hello", pid) is the legacy form; ("hello", pid, info) advertises
+        # capabilities — currently the heartbeat cadence, which opts the
+        # worker into staleness enforcement.
+        if len(hello) >= 3 and isinstance(hello[2], dict):
+            interval = hello[2].get("heartbeat_interval")
+            if interval:
+                conn.heartbeat_interval = float(interval)
+        conn.last_frame = time.monotonic()
         with self._connections_lock:
             self._connections.append(conn)
         self._last_activity = time.monotonic()
@@ -309,22 +355,65 @@ class SocketDistributedBackend(ExecutionBackend):
         try:
             while True:
                 message = recv_message(conn.sock)
+                conn.last_frame = time.monotonic()
                 if message[0] in ("result", "error"):
                     _kind, round_id, index, value = message
                     with conn.lock:
                         conn.outstanding.pop((round_id, index), None)
                     self._results.put((message[0], round_id, index, value))
                     conn.credits.release()
-                # anything else (stray hello, unknown type) is ignored
+                # anything else (heartbeat, stray hello, unknown type) only
+                # refreshes the liveness timestamp above
         except Exception:
             # EOF, reset, or a corrupt frame: the dispatcher requeues this
             # worker's unanswered tasks for at-least-once redelivery.
             conn.mark_dead()
 
+    def _connection_hung(self, conn: _WorkerConnection) -> Optional[str]:
+        """Why this worker should be declared hung, or ``None`` if healthy.
+
+        Two independent detectors, both of which requeue the worker's
+        outstanding tasks *before* the coordinator-level liveness timeout
+        would give up on the whole run:
+
+        * per-task deadline — a dispatched item unanswered for longer than
+          ``task_timeout``;
+        * heartbeat staleness — no frame at all for longer than
+          ``heartbeat_timeout`` from a worker that advertised a heartbeat
+          cadence (workers that never heartbeat are exempt, so legacy
+          daemons with long tasks are not killed mid-compute).
+        """
+        now = time.monotonic()
+        if self.task_timeout is not None:
+            with conn.lock:
+                oldest = min(
+                    (sent_at for _item, sent_at in conn.outstanding.values()),
+                    default=None,
+                )
+            if oldest is not None and now - oldest > self.task_timeout:
+                return f"task unanswered for {self.task_timeout:.1f}s"
+        if conn.heartbeat_interval is not None:
+            window = self.heartbeat_timeout
+            if window is None:
+                window = max(
+                    self.HEARTBEAT_TIMEOUT_BEATS * conn.heartbeat_interval,
+                    self.MIN_HEARTBEAT_TIMEOUT,
+                )
+            # An explicit timeout is floored at two of the worker's own
+            # advertised beat intervals — a window shorter than the cadence
+            # would retire perfectly healthy workers between beats.
+            window = max(window, 2.0 * conn.heartbeat_interval)
+            if now - conn.last_frame > window:
+                return f"no heartbeat for {window:.1f}s"
+        return None
+
     def _dispatch_loop(self, conn: _WorkerConnection) -> None:
         """Feed one worker: send a task, wait for its reply credit, repeat."""
         try:
             while not self._closing and conn.alive:
+                if self._connection_hung(conn):
+                    conn.mark_dead()
+                    break
                 try:
                     item = self._task_queue.get(timeout=_POLL_INTERVAL)
                 except queue.Empty:
@@ -333,7 +422,7 @@ class SocketDistributedBackend(ExecutionBackend):
                 if round_id != self._round:
                     continue  # task from an abandoned round
                 with conn.lock:
-                    conn.outstanding[(round_id, index)] = item
+                    conn.outstanding[(round_id, index)] = (item, time.monotonic())
                 try:
                     with conn.send_lock:
                         send_message(conn.sock, ("task", round_id, index, fn, task))
@@ -342,6 +431,12 @@ class SocketDistributedBackend(ExecutionBackend):
                     break
                 while not conn.credits.acquire(timeout=_POLL_INTERVAL):
                     if self._closing or not conn.alive:
+                        break
+                    if self._connection_hung(conn):
+                        # Preemptive requeue: don't wait for the socket to
+                        # die — retire the worker now so another one picks
+                        # the task up (at-least-once redelivery).
+                        conn.mark_dead()
                         break
         finally:
             self._retire(conn)
@@ -352,7 +447,7 @@ class SocketDistributedBackend(ExecutionBackend):
         with conn.lock:
             outstanding = list(conn.outstanding.items())
             conn.outstanding.clear()
-        for (round_id, _index), item in outstanding:
+        for (round_id, _index), (item, _sent_at) in outstanding:
             if round_id == self._round and not self._closing:
                 self._task_queue.put(item)  # at-least-once redelivery
         with self._connections_lock:
@@ -404,12 +499,41 @@ class SocketDistributedBackend(ExecutionBackend):
 # --------------------------------------------------------------------------- #
 # worker daemon (the ``python -m repro worker`` entry point)
 # --------------------------------------------------------------------------- #
+#: Default worker heartbeat cadence (seconds between beats).
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+
+def _start_heartbeat(
+    sock: socket.socket, send_lock: threading.Lock, interval: float
+) -> threading.Event:
+    """Send ``("heartbeat",)`` frames every *interval* seconds until stopped.
+
+    The beats run on a background thread so they keep flowing while the
+    main loop is busy computing a work item — that is the whole point: the
+    coordinator can tell a *hung* daemon (silence) from a *busy* one
+    (heartbeats but no result yet).  Returns the stop event.
+    """
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(interval):
+            try:
+                with send_lock:
+                    send_message(sock, ("heartbeat",))
+            except OSError:
+                return  # connection is gone; the main loop handles it
+
+    threading.Thread(target=beat, name="repro-worker-heartbeat", daemon=True).start()
+    return stop
+
+
 def run_worker(
     address: str,
     *,
     connect_retries: int = 40,
     retry_delay: float = 0.5,
     once: bool = False,
+    heartbeat_interval: Optional[float] = DEFAULT_HEARTBEAT_INTERVAL,
     log: Callable[[str], None] = lambda line: print(line, file=sys.stderr, flush=True),
 ) -> int:
     """Serve work items from a coordinator until it shuts the run down.
@@ -417,8 +541,11 @@ def run_worker(
     The daemon connects (retrying up to *connect_retries* times, *retry_delay*
     seconds apart — so it can be started before the coordinator), executes
     each received work item with its shipped task function and streams the
-    result back.  On a dropped connection it reconnects and keeps serving
-    (unless *once* is set); on a ``shutdown`` message it exits cleanly.
+    result back, heartbeating every *heartbeat_interval* seconds from a
+    background thread (``None`` or ``0`` disables heartbeats and opts out of
+    the coordinator's staleness enforcement).  On a dropped connection it
+    reconnects and keeps serving (unless *once* is set); on a ``shutdown``
+    message it exits cleanly.
 
     Returns a process exit code: ``0`` after a clean shutdown or after
     serving at least one item, ``1`` if it never managed to connect.
@@ -428,6 +555,10 @@ def run_worker(
         raise ValueError(f"connect_retries must be positive, got {connect_retries}")
     if retry_delay < 0:
         raise ValueError(f"retry_delay must be non-negative, got {retry_delay}")
+    if heartbeat_interval is not None and heartbeat_interval < 0:
+        raise ValueError(
+            f"heartbeat_interval must be non-negative, got {heartbeat_interval}"
+        )
     served = 0
     while True:
         sock = _connect_with_retry(host, port, connect_retries, retry_delay, log)
@@ -435,8 +566,17 @@ def run_worker(
             log(f"repro worker: giving up on {address} after {connect_retries} attempts")
             return 0 if served else 1
         log(f"repro worker: connected to {address} (pid {os.getpid()})")
+        send_lock = threading.Lock()
+        heartbeat_stop: Optional[threading.Event] = None
         try:
-            send_message(sock, ("hello", os.getpid()))
+            info = {}
+            if heartbeat_interval:
+                info["heartbeat_interval"] = float(heartbeat_interval)
+            send_message(sock, ("hello", os.getpid(), info))
+            if heartbeat_interval:
+                heartbeat_stop = _start_heartbeat(
+                    sock, send_lock, float(heartbeat_interval)
+                )
             while True:
                 message = recv_message(sock)
                 if message[0] == "shutdown":
@@ -449,7 +589,8 @@ def run_worker(
                     reply = ("result", round_id, index, fn(task))
                 except Exception:
                     reply = ("error", round_id, index, traceback.format_exc())
-                send_message(sock, reply)
+                with send_lock:
+                    send_message(sock, reply)
                 served += 1
         except (ConnectionError, OSError):
             log("repro worker: connection lost")
@@ -472,6 +613,9 @@ def run_worker(
             except OSError:  # pragma: no cover - best effort
                 pass
             return 1
+        finally:
+            if heartbeat_stop is not None:
+                heartbeat_stop.set()
 
 
 def _connect_with_retry(

@@ -13,7 +13,13 @@ coordinator -> worker
 ------------------------  -------------------------------------------------------
 worker -> coordinator
 ------------------------  -------------------------------------------------------
-``("hello", pid)``         sent once per (re)connection
+``("hello", pid[, info])`` sent once per (re)connection; the optional *info*
+                           dict advertises capabilities (currently
+                           ``heartbeat_interval``, which opts the worker into
+                           the coordinator's staleness enforcement)
+``("heartbeat",)``         periodic liveness beat from a background thread —
+                           keeps flowing while a work item is computing, so a
+                           busy worker is distinguishable from a hung one
 ``("result", r, i, v)``    work item *i* of round *r* produced value *v*
 ``("error", r, i, tb)``    work item *i* of round *r* raised; *tb* is the
                            formatted remote traceback

@@ -7,8 +7,16 @@ Subcommands
     Run one registered experiment (``--scale``, ``--seed``, ``--workers``,
     ``--execution-backend``), consult / fill the on-disk result cache, and
     emit the result as canonical JSON (``--out``) or markdown (default).
+``run scenario <name>``
+    Run one registered scenario (see :mod:`repro.scenarios`), optionally
+    overriding its axes or fields with ``--set field=v1,v2``.  A figure
+    scenario with no overrides resolves to the figure's own run identity and
+    is byte-identical to its golden snapshot; any override keys a distinct
+    cache identity (scenario name + resolved non-default fields).
 ``list``
     Show registered experiments, scale presets and execution backends.
+``scenarios ls [--json]``
+    List the scenario registry (human-readable, or machine-readable JSON).
 ``bler``
     Adaptively estimate the defect-free link BLER at one SNR point, stopping
     once the Wilson interval meets the requested relative error.
@@ -49,6 +57,13 @@ from repro.runner.cache import (
 )
 from repro.runner.parallel import ParallelRunner
 from repro.runner.registry import EXPERIMENTS, run_experiment
+from repro.scenarios.engine import run_scenario
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.spec import (
+    resolved_scenario_fields,
+    resolve_link_config,
+    scenario_listing,
+)
 from repro.runner.tasks import (
     LinkChunkTask,
     count_block_errors,
@@ -101,6 +116,14 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="socket backend: local worker daemons to auto-spawn "
         "(default: --workers; 0 = wait for external `repro worker` daemons)",
     )
+    parser.add_argument(
+        "--socket-task-timeout",
+        type=float,
+        default=None,
+        help="socket backend: per-task deadline in seconds — a work item "
+        "unanswered this long marks its worker hung and is preemptively "
+        "requeued to another worker (default: no deadline)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,8 +134,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="run one experiment")
-    run_p.add_argument("experiment", choices=list(EXPERIMENTS), help="experiment name")
+    run_p = sub.add_parser("run", help="run one experiment or scenario")
+    run_p.add_argument(
+        "experiment",
+        choices=list(EXPERIMENTS) + ["scenario"],
+        help="experiment name, or the literal 'scenario' followed by a scenario name",
+    )
+    run_p.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="scenario name (only with 'run scenario'; see `repro scenarios ls`)",
+    )
+    run_p.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=V1[,V2,...]",
+        help="scenario override: replace an axis' values or a scalar field "
+        "(only with 'run scenario'; repeatable)",
+    )
     run_p.add_argument("--scale", default="smoke", choices=sorted(SCALES), help="scale preset")
     run_p.add_argument("--seed", type=int, default=DEFAULT_SEED, help="experiment seed")
     _add_execution_arguments(run_p)
@@ -134,6 +176,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("list", help="list experiments and scale presets")
+
+    scenarios_p = sub.add_parser("scenarios", help="list registered scenarios")
+    scenarios_p.add_argument(
+        "action", nargs="?", default="ls", choices=("ls",), help="ls: list scenarios"
+    )
+    scenarios_p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable listing (one JSON array of scenario descriptions)",
+    )
 
     bler_p = sub.add_parser("bler", help="adaptive BLER estimate at one SNR point")
     bler_p.add_argument("--snr", type=float, required=True, help="receive SNR in dB")
@@ -177,6 +229,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit after the first connection ends instead of reconnecting",
     )
+    worker_p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        help="seconds between liveness heartbeats (default: 2; 0 disables "
+        "heartbeating and opts out of coordinator staleness enforcement)",
+    )
 
     cache_p = sub.add_parser("cache", help="inspect or evict the result cache")
     cache_p.add_argument(
@@ -210,10 +269,13 @@ def make_runner(args: argparse.Namespace) -> ParallelRunner:
         # repro.runner.parallel.resolve_runner).
         workers = 0
     if name != "socket" and (
-        args.socket_address != DEFAULT_SOCKET_BIND or args.socket_workers is not None
+        args.socket_address != DEFAULT_SOCKET_BIND
+        or args.socket_workers is not None
+        or args.socket_task_timeout is not None
     ):
         raise ValueError(
-            "--socket-address/--socket-workers require --execution-backend socket"
+            "--socket-address/--socket-workers/--socket-task-timeout require "
+            "--execution-backend socket"
         )
     options = {}
     if name == "socket":
@@ -221,6 +283,8 @@ def make_runner(args: argparse.Namespace) -> ParallelRunner:
             "bind": args.socket_address,
             "local_workers": args.socket_workers,
         }
+        if args.socket_task_timeout is not None:
+            options["task_timeout"] = args.socket_task_timeout
     backend = create_execution_backend(name, workers=workers, **options)
     if name == "socket" and args.socket_workers == 0:
         # External-worker mode: surface the bound address (the port may be
@@ -247,6 +311,18 @@ def run_identity(experiment: str, scale_name: str, seed: int, kwargs: Dict[str, 
     request that falls back to numpy shares the numpy entry.
     """
     scale = get_scale(scale_name)
+    return {
+        "experiment": experiment,
+        "scale": scale_name,
+        "scale_params": scale,
+        "link_config": scale.link_config().describe(),
+        "seed": int(seed),
+        "kwargs": _normalise_identity_kwargs(kwargs),
+    }
+
+
+def _normalise_identity_kwargs(kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Resolve identity-relevant kwargs to what will actually run."""
     kwargs = dict(kwargs)
     if kwargs.get("decoder_backend") is not None:
         resolved_backend = decoder_backend_identity(kwargs["decoder_backend"])
@@ -265,13 +341,31 @@ def run_identity(experiment: str, scale_name: str, seed: int, kwargs: Dict[str, 
             del kwargs["adaptive"]
         else:
             kwargs["adaptive"] = resolved_adaptive
+    return kwargs
+
+
+def scenario_run_identity(
+    spec, scale_name: str, seed: int, kwargs: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The cache/artefact identity of an overridden (or non-figure) scenario run.
+
+    Keys the cache by the scenario *name* plus every resolved non-default
+    spec field (axes included, fully resolved against the scale) — so two
+    scenarios, or two override sets, never share an entry — together with
+    the resolved base link configuration, the scale parameters and the seed.
+    Default-figure scenario runs never reach this path: they delegate to the
+    figure experiment's own identity and therefore to its golden bytes.
+    """
+    scale = get_scale(scale_name)
     return {
-        "experiment": experiment,
+        "experiment": f"scenario-{spec.name}",
+        "scenario": spec.name,
         "scale": scale_name,
         "scale_params": scale,
-        "link_config": scale.link_config().describe(),
+        "link_config": resolve_link_config(spec, scale).describe(),
+        "fields": resolved_scenario_fields(spec, scale),
         "seed": int(seed),
-        "kwargs": kwargs,
+        "kwargs": _normalise_identity_kwargs(kwargs),
     }
 
 
@@ -323,7 +417,131 @@ def serialize_from_cache(payload: Dict[str, Any]) -> str:
 
 
 # --------------------------------------------------------------------------- #
+def _coerce_override_token(token: str) -> Any:
+    """Parse one ``--set`` value token into int, float or string."""
+    text = token.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_overrides(items: List[str]) -> Dict[str, Any]:
+    """Parse ``--set FIELD=V1[,V2,...]`` items into a field -> value mapping.
+
+    A comma-separated value list becomes a tuple (replacing a sweep axis'
+    values); a single token stays scalar.
+    """
+    overrides: Dict[str, Any] = {}
+    for item in items:
+        field, sep, value = item.partition("=")
+        field = field.strip()
+        if not sep or not field or not value.strip():
+            raise ValueError(f"--set expects FIELD=VALUE[,VALUE...], got {item!r}")
+        if field in overrides:
+            raise ValueError(f"duplicate --set for field {field!r}")
+        tokens = [t for t in value.split(",") if t.strip()]
+        if not tokens:
+            raise ValueError(f"--set expects FIELD=VALUE[,VALUE...], got {item!r}")
+        parsed = tuple(_coerce_override_token(t) for t in tokens)
+        overrides[field] = parsed if len(parsed) > 1 else parsed[0]
+    return overrides
+
+
+def scenario_payload(
+    name: str,
+    scale_name: str,
+    seed: int,
+    *,
+    runner: Optional[ParallelRunner] = None,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+    overrides: Optional[Dict[str, Any]] = None,
+    **kwargs: Any,
+) -> str:
+    """Run (or fetch) a scenario and return its canonical JSON payload.
+
+    A figure-backed scenario with no ``--set`` overrides delegates to
+    :func:`experiment_payload` under the figure's own name and identity, so
+    its output is byte-identical to the figure run (and to the golden
+    snapshot at the default scale/seed) and shares the figure's cache
+    entries.  Any override — and every scenario the paper never ran — is
+    keyed by :func:`scenario_run_identity` and cached under
+    ``scenario-<name>``.
+    """
+    from repro.runner.registry import _normalise
+
+    spec = get_scenario(name)
+    overrides = dict(overrides or {})
+    if not overrides and spec.experiment is not None:
+        return experiment_payload(
+            spec.experiment,
+            scale_name,
+            seed,
+            runner=runner,
+            cache=cache,
+            force=force,
+            **kwargs,
+        )
+    if spec.kind == "analytical":
+        raise ValueError(
+            f"scenario {name!r} is analytical; --set overrides do not apply"
+        )
+    for field in sorted(overrides):
+        spec = spec.apply_override(field, overrides[field])
+
+    identity = scenario_run_identity(spec, scale_name, seed, dict(sorted(kwargs.items())))
+    digest = config_digest(identity)
+    # One label for the payload's experiment field and the cache directory,
+    # so a cache hit re-serialises to exactly the fresh-run bytes.
+    cache_key = f"scenario-{name}"
+    if cache is not None and not force:
+        hit = cache.load(cache_key, digest)
+        if hit is not None:
+            return serialize_from_cache(hit)
+    result = run_scenario(spec, scale_name, seed, runner=runner, **kwargs)
+    tables, extras = _normalise(result)
+    payload = serialize_payload(
+        cache_key, identity=identity, tables=tables, extras=extras
+    )
+    if cache is not None:
+        cache.store(cache_key, digest, identity=identity, tables=tables, extras=extras)
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+def _emit_payload(payload: str, args: argparse.Namespace) -> int:
+    """Write a run's canonical JSON to ``--out`` or print it as markdown."""
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(payload)
+        print(f"wrote {args.out}")
+    else:
+        import json
+
+        decoded = json.loads(payload)
+        from repro.core.results import SweepTable
+
+        for name in sorted(decoded["tables"]):
+            print(SweepTable.from_json_dict(decoded["tables"][name]).to_markdown())
+            print()
+        if decoded.get("extras"):
+            print("extras:", json.dumps(decoded["extras"], sort_keys=True))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment == "scenario":
+        return _run_scenario_cmd(args)
+    if args.name is not None:
+        raise ValueError("only `repro run scenario <name>` takes a second name")
+    if args.overrides:
+        raise ValueError("--set applies to `repro run scenario <name>` only")
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     kwargs: Dict[str, Any] = {}
     if args.decoder_backend is not None:
@@ -350,22 +568,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
             force=args.force,
             **kwargs,
         )
-    if args.out is not None:
-        args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(payload)
-        print(f"wrote {args.out}")
-    else:
-        import json
+    return _emit_payload(payload, args)
 
-        decoded = json.loads(payload)
-        from repro.core.results import SweepTable
 
-        for name in sorted(decoded["tables"]):
-            print(SweepTable.from_json_dict(decoded["tables"][name]).to_markdown())
-            print()
-        if decoded.get("extras"):
-            print("extras:", json.dumps(decoded["extras"], sort_keys=True))
-    return 0
+def _run_scenario_cmd(args: argparse.Namespace) -> int:
+    if args.name is None:
+        raise ValueError(
+            f"`repro run scenario` needs a scenario name; choose from {scenario_names()}"
+        )
+    spec = get_scenario(args.name)
+    overrides = parse_overrides(args.overrides)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    kwargs: Dict[str, Any] = {}
+    if args.decoder_backend is not None:
+        kwargs["decoder_backend"] = args.decoder_backend
+    if args.adaptive:
+        kwargs["adaptive"] = True
+    if spec.kind == "analytical" and (kwargs or overrides):
+        raise ValueError(
+            f"scenario {spec.name!r} is analytical and does not simulate the link; "
+            "--set/--decoder-backend/--adaptive do not apply"
+        )
+    if kwargs.get("adaptive") and spec.kind != "fault":
+        raise ValueError("--adaptive applies to fault-map scenarios only")
+    with make_runner(args) as runner:
+        payload = scenario_payload(
+            args.name,
+            args.scale,
+            args.seed,
+            runner=runner,
+            cache=cache,
+            force=args.force,
+            overrides=overrides,
+            **kwargs,
+        )
+    return _emit_payload(payload, args)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -381,6 +618,31 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         )
     print("execution backends (topology only; results are identical):")
     print(f"  {' '.join(sorted(execution_backend_names()))}")
+    print(f"scenarios: {len(scenario_names())} registered (see `repro scenarios ls`)")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    listings = [scenario_listing(get_scenario(name)) for name in scenario_names()]
+    if args.json:
+        print(json.dumps(listings, sort_keys=True, indent=2))
+        return 0
+    print("scenarios (run with `repro run scenario <name>`):")
+    for entry in listings:
+        axes = ", ".join(
+            "{}={}".format(
+                axis["field"],
+                "scale" if axis["values"] == "scale-default" else len(axis["values"]),
+            )
+            for axis in entry["axes"]
+        )
+        origin = entry["experiment"] or "new"
+        print(
+            f"  {entry['name']:<20} [{entry['kind']:<10}] ({origin:<13}) "
+            f"axes: {axes or '-':<30} {entry['summary']}"
+        )
     return 0
 
 
@@ -431,11 +693,15 @@ def _cmd_golden(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.heartbeat_interval is not None:
+        kwargs["heartbeat_interval"] = args.heartbeat_interval or None
     return run_worker(
         args.connect,
         connect_retries=args.connect_retries,
         retry_delay=args.retry_delay,
         once=args.once,
+        **kwargs,
     )
 
 
@@ -465,6 +731,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "list": _cmd_list,
+    "scenarios": _cmd_scenarios,
     "bler": _cmd_bler,
     "worker": _cmd_worker,
     "golden": _cmd_golden,

@@ -30,6 +30,7 @@ from repro.core.fault_simulator import FaultSimulationPoint
 from repro.core.protection import ProtectionScheme
 from repro.harq.metrics import HarqStatistics, merge_statistics
 from repro.link.config import LinkConfig
+from repro.memory.faults import FaultModel
 from repro.link.system import HspaLikeLink, PacketGroup, simulate_packet_groups
 from repro.utils.rng import keyed_seed_sequence
 
@@ -215,6 +216,7 @@ class FaultMapTask:
     entropy: int
     key: Tuple[int, ...]
     use_rake: bool = False
+    fault_model: FaultModel = FaultModel.BIT_FLIP
 
 
 @dataclass(frozen=True)
@@ -245,7 +247,10 @@ def _fault_map_group(link: HspaLikeLink, task: FaultMapTask) -> Tuple[PacketGrou
     seed = keyed_seed_sequence(task.entropy, task.key)
     map_seed, sim_seed = seed.spawn(2)
     fault_map = task.protection.make_fault_map(
-        task.config.llr_storage_words, num_faults, rng=np.random.default_rng(map_seed)
+        task.config.llr_storage_words,
+        num_faults,
+        rng=np.random.default_rng(map_seed),
+        fault_model=task.fault_model,
     )
     ecc = task.protection.ecc
 
@@ -331,6 +336,9 @@ class GridPoint:
         Link configuration and storage scheme evaluated at this point.
     snr_db, defect_rate:
         Operating conditions.
+    fault_model:
+        Read-out semantics of the injected faults (bit-flip by default,
+        matching the paper's model).
     """
 
     key_prefix: Tuple[int, ...]
@@ -338,6 +346,7 @@ class GridPoint:
     protection: ProtectionScheme
     snr_db: float
     defect_rate: float
+    fault_model: FaultModel = FaultModel.BIT_FLIP
 
 
 @dataclass(frozen=True)
@@ -455,6 +464,7 @@ def run_fault_map_grid(
                 entropy=entropy,
                 key_prefix=point.key_prefix,
                 use_rake=use_rake,
+                fault_model=point.fault_model,
             )
         )
     task_groups = group_tasks_for_batching(tasks, aggregate_packets)
@@ -519,6 +529,7 @@ def _run_adaptive_point(
                 entropy=entropy,
                 key=point.key_prefix + (num_dies + i,),
                 use_rake=use_rake,
+                fault_model=point.fault_model,
             )
             for i in range(round_dies)
         ]
@@ -555,6 +566,7 @@ def fault_map_tasks_for_point(
     entropy: int,
     key_prefix: Tuple[int, ...],
     use_rake: bool = False,
+    fault_model: FaultModel = FaultModel.BIT_FLIP,
 ) -> List[FaultMapTask]:
     """The standard sharding of one operating point: one task per die.
 
@@ -573,6 +585,7 @@ def fault_map_tasks_for_point(
             entropy=entropy,
             key=key_prefix + (map_index,),
             use_rake=use_rake,
+            fault_model=FaultModel(fault_model),
         )
         for map_index in range(num_fault_maps)
     ]

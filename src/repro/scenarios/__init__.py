@@ -1,0 +1,57 @@
+"""Declarative scenario layer: compose channel x fault x protection x voltage.
+
+A :class:`~repro.scenarios.spec.ScenarioSpec` composes the repository's
+ingredients — AWGN/fading/multipath channels, RAKE/MMSE equalizers,
+bit-flip/stuck-at fault models, MSB/ECC/full-cell protection, the
+voltage-dependent 6T failure curve, HARQ combining schemes — into one named
+operating point plus sweep axes.  Every scenario (including the paper's nine
+figures, which are declared here too) executes through the one sweep-grid
+engine (:func:`~repro.scenarios.engine.run_scenario_grid`) and therefore
+inherits the keyed-SeedSequence sharding contract: results depend only on
+``(scenario, scale, seed)``, never on workers or execution backend.
+
+This is the repository's third name-based registry, next to the decoder
+backends (:mod:`repro.phy.turbo.backends`) and the execution backends
+(:mod:`repro.runner.backends`).  CLI surface::
+
+    python -m repro scenarios ls [--json]
+    python -m repro run scenario <name> [--set axis=v1,v2] [--scale ...]
+"""
+
+from repro.scenarios.engine import (
+    ScenarioCell,
+    ScenarioOutcome,
+    default_tables,
+    expand_grid,
+    run_scenario,
+    run_scenario_grid,
+)
+from repro.scenarios.registry import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    SweepAxis,
+    resolved_scenario_fields,
+    voltage_defect_rate,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioCell",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "SweepAxis",
+    "default_tables",
+    "expand_grid",
+    "get_scenario",
+    "register_scenario",
+    "resolved_scenario_fields",
+    "run_scenario",
+    "run_scenario_grid",
+    "scenario_names",
+    "voltage_defect_rate",
+]

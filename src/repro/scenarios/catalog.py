@@ -1,0 +1,135 @@
+"""The built-in scenario catalog.
+
+Registers the paper's nine figure scenarios (declared next to their drivers
+in :mod:`repro.experiments`) plus compositions the paper never ran — the
+point of the declarative layer: every ingredient the repository models
+(fading/multipath channels, RAKE vs MMSE equalization, stuck-at vs bit-flip
+faults, ECC vs MSB protection, voltage operating points, chase vs IR
+combining, float32 LLR datapaths) is one registry entry away from a full
+Monte-Carlo sweep with the stock determinism and caching contracts.
+
+Importing this module registers everything; use
+:func:`repro.scenarios.registry.get_scenario` /
+``python -m repro scenarios ls`` to enumerate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    fig2_bler_vs_harq,
+    fig3_cell_failure,
+    fig5_yield,
+    fig6_throughput_vs_defects,
+    fig7_msb_protection,
+    fig8_efficiency,
+    fig9_bitwidth,
+    power_savings,
+)
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import ScenarioSpec, SweepAxis
+
+# --------------------------------------------------------------------------- #
+# the paper's figures, in paper order
+# --------------------------------------------------------------------------- #
+for _module in (
+    fig2_bler_vs_harq,
+    fig3_cell_failure,
+    fig5_yield,
+    fig6_throughput_vs_defects,
+    fig7_msb_protection,
+    fig8_efficiency,
+    fig9_bitwidth,
+    power_savings,
+):
+    register_scenario(_module.SCENARIO)
+
+
+# --------------------------------------------------------------------------- #
+# compositions the paper never ran
+# --------------------------------------------------------------------------- #
+register_scenario(
+    ScenarioSpec(
+        name="rayleigh-harq",
+        title="HARQ failure probability over a flat Rayleigh fading channel",
+        summary="single-path Rayleigh fading (no multipath) HARQ failure curves",
+        kind="bler",
+        channel_profile="SinglePath",
+        axes=(SweepAxis("snr_db"),),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="pedb-rake-defects",
+        title="RAKE receiver on ITU-PedB multipath under LLR-storage defects",
+        summary="strongly frequency-selective channel + RAKE baseline, defect x SNR grid",
+        kind="fault",
+        channel_profile="ITU-PedB",
+        equalizer="rake",
+        axes=(SweepAxis("defect_rate"), SweepAxis("snr_db")),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="veha-qpsk-defects",
+        title="QPSK on ITU-VehA multipath under LLR-storage defects",
+        summary="robust low-order modulation on a vehicular channel, defect x SNR grid",
+        kind="fault",
+        modulation="QPSK",
+        channel_profile="ITU-VehA",
+        axes=(SweepAxis("defect_rate"), SweepAxis("snr_db")),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="stuckat-vs-bitflip",
+        title="Fault read-out semantics: bit-flip vs stuck-at at 10% defects",
+        summary="fault-model axis (bit-flip, stuck-at-0/1/random) over SNR",
+        kind="fault",
+        defect_rate=0.10,
+        axes=(
+            SweepAxis(
+                "fault_model",
+                ("bit-flip", "stuck-at-0", "stuck-at-1", "stuck-at-random"),
+            ),
+            SweepAxis("snr_db"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="ecc-low-voltage",
+        title="Full-ECC protected LLR memory under voltage scaling",
+        summary="Hamming-SEC storage swept over supply voltage (defects from Pcell(Vdd))",
+        kind="fault",
+        protection="ecc",
+        snr_db=20.0,
+        axes=(SweepAxis("vdd", (0.60, 0.66, 0.70, 0.75, 0.80)),),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="float32-llr",
+        title="float32 end-to-end LLR datapath under defects",
+        summary="single-precision link LLRs + float32 decoder kernel, SNR sweep at 1% defects",
+        kind="fault",
+        llr_dtype="float32",
+        decoder_backend="numpy-f32",
+        defect_rate=0.01,
+        axes=(SweepAxis("snr_db"),),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="chase-vs-ir",
+        title="Chase combining vs incremental redundancy on the defect-free link",
+        summary="HARQ combining-scheme axis over SNR (failure probability per transmission)",
+        kind="bler",
+        axes=(SweepAxis("combining", ("chase", "ir")), SweepAxis("snr_db")),
+    )
+)

@@ -1,0 +1,54 @@
+"""The name-based scenario registry behind ``python -m repro run scenario``.
+
+The repository's third registry, mirroring the decoder-backend registry
+(:mod:`repro.phy.turbo.backends`) and the execution-backend registry
+(:mod:`repro.runner.backends`): scenarios are selected by name, duplicates
+are rejected, and lookups fail with the full menu.  The built-in catalog
+(:mod:`repro.scenarios.catalog` — the nine figure scenarios plus the
+compositions the paper never ran) is registered lazily on first lookup so
+that importing a driver module never drags in every other driver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.spec import ScenarioSpec
+
+#: All registered scenarios by name, in registration order.
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+_catalog_loaded = False
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a scenario to the registry (rejecting duplicate names)."""
+    if spec.name in SCENARIOS:
+        raise ValueError(f"duplicate scenario name {spec.name!r}")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def _ensure_catalog() -> None:
+    """Import the built-in catalog once (idempotent, import-cycle safe)."""
+    global _catalog_loaded
+    if not _catalog_loaded:
+        _catalog_loaded = True
+        from repro.scenarios import catalog  # noqa: F401  (registers on import)
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, in registration (catalog) order."""
+    _ensure_catalog()
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by name, with a helpful error on typos."""
+    _ensure_catalog()
+    try:
+        return SCENARIOS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from exc

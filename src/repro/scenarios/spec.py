@@ -1,0 +1,407 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names one composable operating mode of the study:
+channel profile x equalizer x modulation x memory fault model x protection
+scheme x voltage operating point x HARQ settings — plus the sweep axes that
+turn the point into a grid.  A spec resolves deterministically to today's
+:class:`~repro.link.config.LinkConfig` / fault-map machinery, so every
+scenario (the paper's nine figures and any new composition) runs through the
+same keyed-SeedSequence sharding as the stock drivers.
+
+Specs are *data*: frozen dataclasses whose non-default fields are hashed
+into the cache identity of a scenario run (see
+:func:`resolved_scenario_fields`).  Two presentation hooks — ``presenter``
+for Monte-Carlo grids and ``analytic`` for closed-form drivers — carry the
+figure-specific table construction and never enter the identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.experiments.scales import Scale
+from repro.harq.combining import CombiningScheme
+from repro.link.config import LinkConfig
+from repro.memory.cells import BitCellType, CELL_6T
+from repro.memory.faults import FaultModel
+from repro.core.protection import (
+    EccProtection,
+    FullCellProtection,
+    ProtectionScheme,
+    msb_protection_scheme,
+)
+
+#: Scenario fields a sweep axis (or a ``--set`` override) may target.
+#: ``protected_bits`` is sugar for ``protection="msb:<k>"`` so protection
+#: depth sweeps read like the paper's figures.
+AXIS_FIELDS = (
+    "snr_db",
+    "defect_rate",
+    "vdd",
+    "protection",
+    "protected_bits",
+    "fault_model",
+    "llr_bits",
+    "modulation",
+    "channel_profile",
+    "combining",
+    "max_transmissions",
+    "turbo_iterations",
+    "llr_max_abs",
+)
+
+#: Scalar spec fields an override may replace directly.
+OVERRIDABLE_FIELDS = AXIS_FIELDS + ("equalizer", "llr_dtype", "decoder_backend")
+
+#: Fields that describe rather than parameterise a scenario — never hashed.
+_DESCRIPTIVE_FIELDS = ("name", "title", "summary", "kind", "experiment", "presenter", "analytic")
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One sweep dimension of a scenario grid.
+
+    Parameters
+    ----------
+    field:
+        The scenario field the axis varies (one of :data:`AXIS_FIELDS`).
+    values:
+        The grid values, or ``None`` to resolve them from the scale preset
+        (supported for ``snr_db`` -> ``Scale.snr_points_db`` and
+        ``defect_rate`` -> ``Scale.defect_rates``).
+    """
+
+    field: str
+    values: Optional[Tuple[Any, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.field not in AXIS_FIELDS:
+            raise ValueError(
+                f"axis field {self.field!r} is not sweepable; choose from {AXIS_FIELDS}"
+            )
+        if self.values is not None:
+            object.__setattr__(self, "values", tuple(self.values))
+            if not self.values:
+                raise ValueError(f"axis {self.field!r} must have at least one value")
+
+    def resolve_values(self, scale: Scale) -> Tuple[Any, ...]:
+        """The axis values, defaulting from the scale preset when unset."""
+        if self.values is not None:
+            return self.values
+        if self.field == "snr_db":
+            return tuple(float(s) for s in scale.snr_points_db)
+        if self.field == "defect_rate":
+            return tuple(float(r) for r in scale.defect_rates)
+        raise ValueError(
+            f"axis {self.field!r} has no scale-derived default; give explicit values"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario: operating point plus sweep axes.
+
+    Parameters
+    ----------
+    name, title, summary:
+        Registry identifier, display title and one-line description.
+    kind:
+        ``"fault"`` (fault-map grid over dies, the Fig. 6-9 shape),
+        ``"bler"`` (defect-free HARQ packet chunks, the Fig. 2 shape) or
+        ``"analytical"`` (closed-form driver, no work items).
+    experiment:
+        Name of the registered experiment whose run identity (and golden
+        snapshot) this scenario reproduces when run with no overrides;
+        ``None`` for compositions the paper never ran.
+    modulation, channel_profile, llr_bits, llr_max_abs, llr_dtype,
+    turbo_iterations, max_transmissions, combining, buffer_architecture,
+    decoder_backend:
+        Link-configuration fields; ``None`` keeps the scale/link default.
+        ``combining`` takes the :class:`CombiningScheme` tokens ``"chase"``
+        / ``"ir"``.
+    equalizer:
+        ``"mmse"`` (default) or ``"rake"``.
+    fault_model:
+        Fault read-out semantics token (see
+        :class:`~repro.memory.faults.FaultModel`).
+    protection:
+        Storage scheme token: ``"none"``, ``"msb:<k>"``, ``"all-8T"``,
+        ``"ecc"`` or ``"ecc-ded"``.
+    defect_rate:
+        Fraction of the fallible LLR-storage cells that are faulty.
+    vdd:
+        Optional supply-voltage operating point; when set, the defect rate
+        is derived from the 6T cell-failure curve at that voltage
+        (``Pcell(vdd)``) instead of :attr:`defect_rate`.
+    snr_db:
+        Fixed receive SNR for grids without an SNR axis.
+    axes:
+        Sweep axes, outermost first; the cell spawn key is the tuple of
+        per-axis indices, so scenario grids shard exactly like the stock
+        figure drivers.
+    reference_point:
+        Prepend a defect-free, unprotected reference cell with spawn key
+        ``(0,)`` and shift the (single) axis keys by one — the Fig. 8
+        layout.  Requires a custom presenter.
+    presenter:
+        ``presenter(outcome) -> SweepTable | dict`` building the result
+        tables from a
+        :class:`~repro.scenarios.engine.ScenarioOutcome`; ``None`` selects
+        the generic table builder.
+    analytic:
+        For ``kind="analytical"``: the driver entry point
+        ``analytic(scale, seed, runner=...)``.
+    """
+
+    name: str
+    title: str
+    summary: str
+    kind: str = "fault"
+    experiment: Optional[str] = None
+    # -- link operating mode ------------------------------------------- #
+    modulation: Optional[str] = None
+    channel_profile: Optional[str] = None
+    equalizer: str = "mmse"
+    llr_bits: Optional[int] = None
+    llr_max_abs: Optional[float] = None
+    llr_dtype: Optional[str] = None
+    turbo_iterations: Optional[int] = None
+    max_transmissions: Optional[int] = None
+    combining: Optional[str] = None
+    buffer_architecture: Optional[str] = None
+    decoder_backend: Optional[str] = None
+    # -- memory fault / protection / operating point -------------------- #
+    fault_model: str = "bit-flip"
+    protection: str = "none"
+    defect_rate: float = 0.0
+    vdd: Optional[float] = None
+    snr_db: Optional[float] = None
+    # -- sweep structure ------------------------------------------------ #
+    axes: Tuple[SweepAxis, ...] = ()
+    reference_point: bool = False
+    # -- presentation hooks (never part of the identity) ----------------- #
+    presenter: Optional[Callable[..., Any]] = None
+    analytic: Optional[Callable[..., Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fault", "bler", "analytical"):
+            raise ValueError(
+                f"kind must be 'fault', 'bler' or 'analytical', got {self.kind!r}"
+            )
+        if self.equalizer not in ("mmse", "rake"):
+            raise ValueError(f"equalizer must be 'mmse' or 'rake', got {self.equalizer!r}")
+        FaultModel(self.fault_model)  # validates the token
+        parse_protection_token(self.protection)
+        if self.combining is not None:
+            parse_combining(self.combining)
+        if self.defect_rate < 0:
+            raise ValueError("defect_rate must be non-negative")
+        object.__setattr__(self, "axes", tuple(self.axes))
+        seen = set()
+        for axis in self.axes:
+            if axis.field in seen:
+                raise ValueError(f"duplicate sweep axis {axis.field!r}")
+            seen.add(axis.field)
+        if self.reference_point and len(self.axes) != 1:
+            raise ValueError("reference_point requires exactly one sweep axis")
+        if self.kind == "analytical" and self.analytic is None:
+            raise ValueError("analytical scenarios need an `analytic` entry point")
+
+    # ------------------------------------------------------------------ #
+    def with_updates(self, **kwargs: Any) -> "ScenarioSpec":
+        """Copy of the spec with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def with_axis_values(self, **values: Any) -> "ScenarioSpec":
+        """Replace the values of the named axes (``None`` keeps the default)."""
+        updates = {k: v for k, v in values.items() if v is not None}
+        unknown = set(updates) - {axis.field for axis in self.axes}
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r} has no axes {sorted(unknown)}; "
+                f"its axes are {[axis.field for axis in self.axes]}"
+            )
+        axes = tuple(
+            replace(axis, values=tuple(updates[axis.field]))
+            if axis.field in updates
+            else axis
+            for axis in self.axes
+        )
+        return replace(self, axes=axes)
+
+    def apply_override(self, field: str, value: Any) -> "ScenarioSpec":
+        """Apply one ``--set field=value`` override.
+
+        A field that names one of this scenario's axes replaces the axis
+        values (the value must be a sequence); any other overridable field
+        is replaced as a scalar, with ``protected_bits`` translated to the
+        matching ``protection`` token.
+        """
+        if field in {axis.field for axis in self.axes}:
+            values = value if isinstance(value, (list, tuple)) else (value,)
+            return self.with_axis_values(**{field: tuple(values)})
+        if isinstance(value, (list, tuple)):
+            raise ValueError(
+                f"{field!r} is not an axis of scenario {self.name!r}; "
+                "give a single value"
+            )
+        if field == "protected_bits":
+            return replace(self, protection=f"msb:{int(value)}")
+        if field not in OVERRIDABLE_FIELDS:
+            raise ValueError(
+                f"unknown scenario field {field!r}; choose from "
+                f"{sorted(set(OVERRIDABLE_FIELDS))}"
+            )
+        return replace(self, **{field: value})
+
+
+# --------------------------------------------------------------------------- #
+# token resolution
+# --------------------------------------------------------------------------- #
+def parse_protection_token(token: str) -> Tuple[str, int]:
+    """Validate a protection token, returning ``(family, msbs)``."""
+    value = str(token).strip().lower()
+    if value in ("none", "all-8t", "ecc", "ecc-ded"):
+        return value, 0
+    if value.startswith("msb:"):
+        try:
+            msbs = int(value[4:])
+        except ValueError:
+            raise ValueError(f"bad protection token {token!r}: msb:<k> needs an integer")
+        if msbs < 0:
+            raise ValueError("protected MSB count must be non-negative")
+        return "msb", msbs
+    raise ValueError(
+        f"unknown protection token {token!r}; use 'none', 'msb:<k>', "
+        "'all-8T', 'ecc' or 'ecc-ded'"
+    )
+
+
+def resolve_protection(token: str, bits_per_word: int) -> ProtectionScheme:
+    """Build the :class:`ProtectionScheme` a token names, for a word width."""
+    family, msbs = parse_protection_token(token)
+    if family == "none":
+        return msb_protection_scheme(bits_per_word, 0)
+    if family == "msb":
+        return msb_protection_scheme(bits_per_word, msbs)
+    if family == "all-8t":
+        return FullCellProtection(bits_per_word=bits_per_word)
+    return EccProtection(bits_per_word=bits_per_word, extended=(family == "ecc-ded"))
+
+
+def parse_combining(token: str) -> CombiningScheme:
+    """Resolve a combining-scheme token (``"chase"`` / ``"ir"``)."""
+    try:
+        return CombiningScheme(str(token).strip().lower())
+    except ValueError:
+        raise ValueError(
+            f"unknown combining scheme {token!r}; use "
+            f"{[scheme.value for scheme in CombiningScheme]}"
+        ) from None
+
+
+def voltage_defect_rate(vdd: float, cell: BitCellType = CELL_6T) -> float:
+    """The defect rate a supply-voltage operating point implies.
+
+    The worst-case accepted die at voltage *vdd* carries ``Pcell(vdd)`` of
+    its fallible (baseline 6T) cells as faults; robust 8T cells are assumed
+    reliable over the studied range, matching the hybrid-array acceptance
+    criterion of Section 6.
+    """
+    return float(cell.failure_probability(float(vdd)))
+
+
+# --------------------------------------------------------------------------- #
+# resolution to the link / fault machinery
+# --------------------------------------------------------------------------- #
+def resolve_link_config(
+    spec: ScenarioSpec, scale: Scale, decoder_backend: Optional[str] = None
+) -> LinkConfig:
+    """The :class:`LinkConfig` one scenario cell operates at.
+
+    ``None``-valued spec fields keep the scale/link defaults, so a scenario
+    that overrides nothing resolves to exactly the configuration the stock
+    figure drivers build — the property that keeps default figure scenarios
+    byte-identical to their golden snapshots.  An explicit
+    *decoder_backend* (the CLI flag) wins over the spec's own.
+    """
+    combining = None if spec.combining is None else parse_combining(spec.combining)
+    return scale.link_config(
+        modulation=spec.modulation,
+        channel_profile=spec.channel_profile,
+        llr_bits=spec.llr_bits,
+        llr_max_abs=spec.llr_max_abs,
+        llr_dtype=spec.llr_dtype,
+        turbo_iterations=spec.turbo_iterations,
+        max_transmissions=spec.max_transmissions,
+        combining=combining,
+        buffer_architecture=spec.buffer_architecture,
+        decoder_backend=decoder_backend or spec.decoder_backend,
+    )
+
+
+def cell_defect_rate(spec: ScenarioSpec) -> float:
+    """The defect rate of one cell: explicit, or derived from ``vdd``."""
+    if spec.vdd is not None:
+        return voltage_defect_rate(spec.vdd)
+    return float(spec.defect_rate)
+
+
+def _non_default_fields(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Scalar spec fields differing from the :class:`ScenarioSpec` defaults.
+
+    Descriptive fields, presentation hooks and the sweep structure are
+    excluded — this is the single source for both the cache identity and
+    the machine-readable listing, so the two can never disagree.
+    """
+    fields: Dict[str, Any] = {}
+    for field in dataclass_fields(ScenarioSpec):
+        if field.name in _DESCRIPTIVE_FIELDS or field.name in ("axes", "reference_point"):
+            continue
+        value = getattr(spec, field.name)
+        if value != field.default:
+            fields[field.name] = value
+    return fields
+
+
+def resolved_scenario_fields(spec: ScenarioSpec, scale: Scale) -> Dict[str, Any]:
+    """The non-default fields that key a scenario run's cache identity.
+
+    Every scalar field differing from the :class:`ScenarioSpec` default is
+    recorded, plus the fully resolved axis values (axes define the grid, so
+    they always enter the identity).  Descriptive fields and presentation
+    hooks are excluded — they cannot change the numbers.
+    """
+    resolved = _non_default_fields(spec)
+    resolved["axes"] = {
+        axis.field: list(axis.resolve_values(scale)) for axis in spec.axes
+    }
+    if spec.reference_point:
+        resolved["reference_point"] = True
+    return resolved
+
+
+def scenario_listing(spec: ScenarioSpec) -> Dict[str, Any]:
+    """A JSON-able description of one scenario (``repro scenarios ls --json``).
+
+    Axis values are reported literally; axes that default from the scale
+    preset are marked ``"scale-default"`` because their values depend on the
+    ``--scale`` a run picks.
+    """
+    return {
+        "name": spec.name,
+        "kind": spec.kind,
+        "title": spec.title,
+        "summary": spec.summary,
+        "experiment": spec.experiment,
+        "axes": [
+            {
+                "field": axis.field,
+                "values": "scale-default" if axis.values is None else list(axis.values),
+            }
+            for axis in spec.axes
+        ],
+        "reference_point": spec.reference_point,
+        "fields": _non_default_fields(spec),
+    }

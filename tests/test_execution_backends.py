@@ -67,6 +67,11 @@ def _identity_task(chunk_index):
     return chunk_index
 
 
+def _slow_square(value):
+    time.sleep(0.5)
+    return value * value
+
+
 class TestRegistry:
     def test_builtin_families_registered(self):
         assert set(execution_backend_names()) >= {"serial", "process", "socket"}
@@ -359,6 +364,167 @@ class TestSocketFailureSemantics:
             del abandoned
         finally:
             backend.close()
+
+    def test_task_timeout_requeues_hung_worker_task(self):
+        """A worker that heartbeats but never answers its task is preempted.
+
+        The per-task deadline must requeue the item to a healthy worker long
+        before the coordinator-level worker_timeout would give up — that is
+        the whole point of the hardening.
+        """
+        backend = SocketDistributedBackend(
+            local_workers=0, worker_timeout=120.0, task_timeout=1.0
+        )
+        try:
+            host, port = parse_address(backend.address)
+            took_task = threading.Event()
+
+            def hung_worker():
+                sock = socket.create_connection((host, port))
+                send_message(sock, ("hello", 0, {"heartbeat_interval": 0.1}))
+                message = recv_message(sock)  # take a task ...
+                assert message[0] == "task"
+                took_task.set()
+                # ... and never answer it, but keep heartbeating so only the
+                # per-task deadline (not heartbeat staleness) can fire.
+                try:
+                    while True:
+                        send_message(sock, ("heartbeat",))
+                        time.sleep(0.1)
+                except OSError:
+                    pass  # coordinator retired us
+
+            threading.Thread(target=hung_worker, daemon=True).start()
+
+            def healthy_after_hang():
+                assert took_task.wait(timeout=30.0)
+                run_worker(
+                    f"{host}:{port}",
+                    connect_retries=40,
+                    retry_delay=0.05,
+                    once=True,
+                    log=lambda _line: None,
+                )
+
+            threading.Thread(target=healthy_after_hang, daemon=True).start()
+            runner = ParallelRunner(2, backend=backend)
+            started = time.monotonic()
+            assert runner.map(_square, [2, 3, 4]) == [4, 9, 16]
+            # Far below worker_timeout: the requeue was preemptive.
+            assert time.monotonic() - started < 60.0
+        finally:
+            backend.close()
+
+    def test_heartbeat_staleness_requeues_silent_worker_task(self):
+        """A worker that advertised heartbeats and went silent is retired."""
+        backend = SocketDistributedBackend(
+            local_workers=0, worker_timeout=120.0, heartbeat_timeout=0.5
+        )
+        try:
+            host, port = parse_address(backend.address)
+            took_task = threading.Event()
+
+            def silent_worker():
+                sock = socket.create_connection((host, port))
+                send_message(sock, ("hello", 0, {"heartbeat_interval": 0.1}))
+                message = recv_message(sock)  # take a task ...
+                assert message[0] == "task"
+                took_task.set()
+                time.sleep(60.0)  # ... then fall silent without closing
+
+            threading.Thread(target=silent_worker, daemon=True).start()
+
+            def healthy_after_silence():
+                assert took_task.wait(timeout=30.0)
+                run_worker(
+                    f"{host}:{port}",
+                    connect_retries=40,
+                    retry_delay=0.05,
+                    once=True,
+                    log=lambda _line: None,
+                )
+
+            threading.Thread(target=healthy_after_silence, daemon=True).start()
+            runner = ParallelRunner(2, backend=backend)
+            started = time.monotonic()
+            assert runner.map(_square, [5, 6]) == [25, 36]
+            assert time.monotonic() - started < 60.0
+        finally:
+            backend.close()
+
+    def test_legacy_worker_without_heartbeats_is_not_preempted(self):
+        """No heartbeat advertisement -> no staleness enforcement.
+
+        A legacy daemon (bare ``("hello", pid)``) that computes a slow task
+        must not be killed by the heartbeat detector mid-compute.
+        """
+        backend = SocketDistributedBackend(
+            local_workers=0, worker_timeout=120.0, heartbeat_timeout=0.2
+        )
+        try:
+            host, port = parse_address(backend.address)
+
+            def legacy_worker():
+                sock = socket.create_connection((host, port))
+                send_message(sock, ("hello", 0))  # legacy hello, no info dict
+                while True:
+                    message = recv_message(sock)
+                    if message[0] == "shutdown":
+                        sock.close()
+                        return
+                    _kind, round_id, index, fn, task = message
+                    time.sleep(0.8)  # slower than heartbeat_timeout
+                    send_message(sock, ("result", round_id, index, fn(task)))
+
+            threading.Thread(target=legacy_worker, daemon=True).start()
+            runner = ParallelRunner(1, backend=backend)
+            assert runner.map(_square, [7]) == [49]
+        finally:
+            backend.close()
+
+    def test_worker_heartbeats_flow_while_computing(self):
+        """The daemon's beats come from a background thread, not the task loop."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()[:2]
+        heartbeats = []
+
+        def coordinator():
+            conn, _peer = listener.accept()
+            hello = recv_message(conn)
+            assert hello[0] == "hello"
+            assert hello[2]["heartbeat_interval"] == pytest.approx(0.05)
+            send_message(conn, ("task", 1, 0, _slow_square, 3))
+            while True:
+                message = recv_message(conn)
+                if message[0] == "heartbeat":
+                    heartbeats.append(time.monotonic())
+                    continue
+                assert message == ("result", 1, 0, 9)
+                break
+            send_message(conn, ("shutdown",))
+
+        thread = threading.Thread(target=coordinator, daemon=True)
+        thread.start()
+        code = run_worker(
+            f"{host}:{port}",
+            connect_retries=5,
+            retry_delay=0.05,
+            heartbeat_interval=0.05,
+            log=lambda _line: None,
+        )
+        thread.join(timeout=10.0)
+        listener.close()
+        assert code == 0
+        # The 0.5 s task must have been bridged by several 0.05 s beats.
+        assert len(heartbeats) >= 3
+
+    def test_backend_rejects_bad_hardening_options(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            SocketDistributedBackend(local_workers=0, task_timeout=0.0)
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            SocketDistributedBackend(local_workers=0, heartbeat_timeout=-1.0)
 
     def test_worker_exits_nonzero_on_unpicklable_frame(self):
         """A frame the worker cannot decode is fatal, not an uncaught crash."""
