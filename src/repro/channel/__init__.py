@@ -7,7 +7,11 @@ from repro.channel.awgn import (
     esn0_to_ebn0_db,
     snr_db_to_noise_variance,
 )
-from repro.channel.fading import JakesFadingProcess, block_rayleigh_gains
+from repro.channel.fading import (
+    JakesFadingProcess,
+    JakesFadingRealization,
+    block_rayleigh_gains,
+)
 from repro.channel.multipath import (
     ITU_PEDESTRIAN_A,
     ITU_PEDESTRIAN_B,
@@ -23,6 +27,7 @@ __all__ = [
     "ITU_PEDESTRIAN_B",
     "ITU_VEHICULAR_A",
     "JakesFadingProcess",
+    "JakesFadingRealization",
     "MultipathChannel",
     "PowerDelayProfile",
     "SINGLE_PATH",

@@ -64,6 +64,42 @@ def block_rayleigh_gains(
     return gains * np.sqrt(powers / 2.0)
 
 
+@dataclass(frozen=True)
+class JakesFadingRealization:
+    """One drawn set of arrival angles and phases, evaluable over any window.
+
+    The realisation is a pure function of its parameters: evaluating sample
+    windows ``[0, k)`` and ``[k, n)`` separately concatenates to exactly the
+    waveform of ``[0, n)``, so chunked (streaming) generation is
+    seed-deterministic across chunk boundaries.
+
+    Attributes
+    ----------
+    sample_rate_hz:
+        Sampling rate of the evaluated waveform.
+    doppler_shifts:
+        Angular Doppler shift of each sinusoid (rad/s).
+    phases_i, phases_q:
+        Random phases of the in-phase and quadrature sums.
+    """
+
+    sample_rate_hz: float
+    doppler_shifts: np.ndarray
+    phases_i: np.ndarray
+    phases_q: np.ndarray
+
+    def gains(self, start_sample: int, num_samples: int) -> np.ndarray:
+        """Complex gains of samples ``[start_sample, start_sample + num_samples)``."""
+        num_samples = ensure_positive_int(num_samples, "num_samples")
+        if start_sample < 0:
+            raise ValueError("start_sample must be non-negative")
+        t = (start_sample + np.arange(num_samples)) / self.sample_rate_hz
+        n = self.doppler_shifts.size
+        in_phase = np.sum(np.cos(np.outer(t, self.doppler_shifts) + self.phases_i), axis=1)
+        quadrature = np.sum(np.sin(np.outer(t, self.doppler_shifts) + self.phases_q), axis=1)
+        return (in_phase + 1j * quadrature) / np.sqrt(n)
+
+
 @dataclass
 class JakesFadingProcess:
     """Sum-of-sinusoids Rayleigh fading waveform generator (Clarke/Jakes model).
@@ -89,21 +125,31 @@ class JakesFadingProcess:
             raise ValueError("sample_rate_hz must be positive")
         ensure_positive_int(self.num_sinusoids, "num_sinusoids")
 
-    def generate(self, num_samples: int, rng: RngLike = None) -> np.ndarray:
-        """Return a unit-power complex fading waveform of *num_samples* samples."""
-        num_samples = ensure_positive_int(num_samples, "num_samples")
+    def realization(self, rng: RngLike = None) -> JakesFadingRealization:
+        """Draw one waveform realisation (random arrival angles and phases).
+
+        The draw order (angles, then in-phase phases, then quadrature phases)
+        is part of the determinism contract: :meth:`generate` delegates here,
+        so seeded waveforms are unchanged across the refactoring that split
+        drawing from evaluation.
+        """
         generator = as_rng(rng)
-        t = np.arange(num_samples) / self.sample_rate_hz
         n = self.num_sinusoids
         # Random arrival angles and phases (Monte-Carlo sum-of-sinusoids).
         theta = generator.uniform(0, 2 * np.pi, n)
         phi_i = generator.uniform(0, 2 * np.pi, n)
         phi_q = generator.uniform(0, 2 * np.pi, n)
-        doppler_shifts = 2 * np.pi * self.doppler_hz * np.cos(theta)
-        in_phase = np.sum(np.cos(np.outer(t, doppler_shifts) + phi_i), axis=1)
-        quadrature = np.sum(np.sin(np.outer(t, doppler_shifts) + phi_q), axis=1)
-        waveform = (in_phase + 1j * quadrature) / np.sqrt(n)
-        return waveform
+        return JakesFadingRealization(
+            sample_rate_hz=self.sample_rate_hz,
+            doppler_shifts=2 * np.pi * self.doppler_hz * np.cos(theta),
+            phases_i=phi_i,
+            phases_q=phi_q,
+        )
+
+    def generate(self, num_samples: int, rng: RngLike = None) -> np.ndarray:
+        """Return a unit-power complex fading waveform of *num_samples* samples."""
+        num_samples = ensure_positive_int(num_samples, "num_samples")
+        return self.realization(rng).gains(0, num_samples)
 
     def coherence_time(self) -> float:
         """Approximate channel coherence time (0.423 / fD) in seconds."""

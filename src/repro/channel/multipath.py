@@ -151,6 +151,7 @@ class MultipathChannel:
         snr_db: float,
         rng: RngLike = None,
         impulse_response: np.ndarray | None = None,
+        mean_signal_power: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray, float]:
         """Pass *signal* through one channel realisation and add AWGN.
 
@@ -164,6 +165,12 @@ class MultipathChannel:
             Seed or generator (controls both fading and noise).
         impulse_response:
             Optional pre-drawn impulse response (for reuse across code paths).
+        mean_signal_power:
+            Average transmit sample power used for the SNR accounting;
+            defaults to the empirical mean of *signal*.  Callers that
+            modulate the samples with an extra fading waveform pass the
+            *unfaded* power here, so a deep fade lowers the instantaneous
+            SNR instead of being renormalised away.
 
         Returns
         -------
@@ -175,7 +182,9 @@ class MultipathChannel:
         sig = np.asarray(signal, dtype=np.complex128)
         h = impulse_response if impulse_response is not None else self.realize(generator)
         convolved = np.convolve(sig, h)
-        signal_power = float(np.mean(np.abs(sig) ** 2)) * float(np.sum(np.abs(h) ** 2))
+        if mean_signal_power is None:
+            mean_signal_power = float(np.mean(np.abs(sig) ** 2))
+        signal_power = float(mean_signal_power) * float(np.sum(np.abs(h) ** 2))
         noise_variance = signal_power / (10.0 ** (snr_db / 10.0))
         received = convolved + awgn_noise(convolved.shape, noise_variance, generator)
         return received, h, noise_variance

@@ -28,6 +28,7 @@ from repro.core.results import SweepTable
 from repro.harq.metrics import HarqStatistics, aggregate_results
 from repro.link.config import LinkConfig
 from repro.link.system import HspaLikeLink
+from repro.memory.faults import FaultModel, FaultModelSpec
 from repro.memory.yield_model import acceptance_yield
 from repro.utils.rng import RngLike, as_rng, child_rngs
 from repro.utils.validation import ensure_non_negative_int, ensure_positive_int
@@ -91,6 +92,15 @@ class SystemLevelFaultSimulator:
         operating point.  Packets are split evenly across the maps.
     use_rake:
         Use the RAKE baseline instead of the MMSE equalizer.
+    fault_model:
+        Read-out semantics and placement of the injected persistent faults
+        (a :class:`~repro.memory.faults.FaultModel`, a
+        :class:`~repro.memory.faults.FaultModelSpec` or a token such as
+        ``"stuck-at-0"`` / ``"clustered:<r>"``).
+    soft_error_rate:
+        Per-read transient upset probability per cell, composing with the
+        persistent fault maps (0.0 disables the mechanism and consumes no
+        randomness).
     """
 
     def __init__(
@@ -100,6 +110,8 @@ class SystemLevelFaultSimulator:
         *,
         num_fault_maps: int = 2,
         use_rake: bool = False,
+        fault_model: "FaultModel | str" = FaultModel.BIT_FLIP,
+        soft_error_rate: float = 0.0,
     ) -> None:
         self.config = config
         self.protection = protection or NoProtection(bits_per_word=config.llr_bits)
@@ -109,6 +121,10 @@ class SystemLevelFaultSimulator:
                 f"the link's llr_bits {config.llr_bits}"
             )
         self.num_fault_maps = ensure_positive_int(num_fault_maps, "num_fault_maps")
+        self.fault_model = FaultModelSpec.parse(fault_model)
+        if soft_error_rate < 0 or soft_error_rate > 1:
+            raise ValueError("soft_error_rate must be a probability")
+        self.soft_error_rate = float(soft_error_rate)
         self.link = HspaLikeLink(config, use_rake=use_rake)
 
     # ------------------------------------------------------------------ #
@@ -168,12 +184,30 @@ class SystemLevelFaultSimulator:
         per_map_throughput: List[float] = []
         for map_rng in map_rngs:
             fault_map = self.protection.make_fault_map(
-                self.config.llr_storage_words, num_faults, rng=map_rng
+                self.config.llr_storage_words,
+                num_faults,
+                rng=map_rng,
+                fault_model=self.fault_model,
             )
             ecc = self.protection.ecc
+            # Transient upsets draw from their own child stream; when the
+            # mechanism is off, nothing is drawn and the historical streams
+            # are untouched.
+            soft_rng = (
+                np.random.default_rng(int(map_rng.integers(0, 2**63 - 1)))
+                if self.soft_error_rate > 0.0
+                else None
+            )
 
-            def buffer_factory(_index: int, _fault_map=fault_map, _ecc=ecc):
-                return self.link.make_buffer(fault_map=_fault_map, ecc=_ecc)
+            def buffer_factory(
+                _index: int, _fault_map=fault_map, _ecc=ecc, _soft_rng=soft_rng
+            ):
+                return self.link.make_buffer(
+                    fault_map=_fault_map,
+                    ecc=_ecc,
+                    soft_error_rate=self.soft_error_rate,
+                    soft_error_rng=_soft_rng,
+                )
 
             result = self.link.simulate_packets(
                 packets_per_map, snr_db, map_rng, buffer_factory=buffer_factory

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.memory.cells import BitCellType, CELL_6T, CELL_8T
 from repro.memory.ecc import HammingCode
-from repro.memory.faults import FaultMap, FaultModel
+from repro.memory.faults import FaultMap, FaultModel, FaultModelSpec
 from repro.memory.hybrid import HybridArrayConfig
 from repro.memory.power import AreaModel, PowerModel
 from repro.utils.rng import RngLike
@@ -86,18 +86,36 @@ class ProtectionScheme(ABC):
         num_words: int,
         num_faults: int,
         rng: RngLike = None,
-        fault_model: FaultModel = FaultModel.BIT_FLIP,
+        fault_model: "FaultModel | FaultModelSpec | str" = FaultModel.BIT_FLIP,
     ) -> FaultMap:
-        """Worst-case accepted die: exactly *num_faults* faults in fallible cells."""
+        """Worst-case accepted die: exactly *num_faults* faults in fallible cells.
+
+        *fault_model* accepts the read-out semantics (a :class:`FaultModel`
+        or its token) optionally combined with a clustered placement via a
+        :class:`FaultModelSpec` or the ``"clustered:<r>"`` token; either way
+        the die carries exactly *num_faults* faulty cells.
+        """
         ensure_non_negative_int(num_faults, "num_faults")
+        spec = FaultModelSpec.parse(fault_model)
         protected = self.protected_columns()
+        protected_columns = protected if protected.any() else None
+        if spec.placement == "clustered":
+            return FaultMap.with_clustered_fault_count(
+                num_words,
+                self.stored_bits_per_word,
+                num_faults,
+                cluster_radius=spec.cluster_radius,
+                rng=rng,
+                fault_model=spec.model,
+                protected_columns=protected_columns,
+            )
         return FaultMap.with_exact_fault_count(
             num_words,
             self.stored_bits_per_word,
             num_faults,
             rng=rng,
-            fault_model=fault_model,
-            protected_columns=protected if protected.any() else None,
+            fault_model=spec.model,
+            protected_columns=protected_columns,
         )
 
     def make_fault_map_at_voltage(

@@ -23,6 +23,7 @@ from repro.memory.array import MemoryArray
 from repro.memory.ecc import HammingCode
 from repro.memory.faults import FaultMap
 from repro.phy.quantization import LlrQuantizer
+from repro.utils.rng import RngLike, as_rng
 from repro.utils.validation import ensure_positive_int
 
 
@@ -43,12 +44,19 @@ class LlrSoftBuffer:
     ecc:
         Optional Hamming code protecting every stored word (conventional
         full-ECC alternative).
+    soft_error_rate:
+        Per-read transient upset probability per cell (composes with the
+        persistent fault map; see :class:`~repro.memory.array.MemoryArray`).
+    soft_error_rng:
+        Seed or generator driving the transient upsets.
     """
 
     num_llrs: int
     quantizer: LlrQuantizer = field(default_factory=LlrQuantizer)
     fault_map: Optional[FaultMap] = None
     ecc: Optional[HammingCode] = None
+    soft_error_rate: float = 0.0
+    soft_error_rng: RngLike = None
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.num_llrs, "num_llrs")
@@ -57,6 +65,8 @@ class LlrSoftBuffer:
             bits_per_word=self.quantizer.num_bits,
             fault_map=self.fault_map,
             ecc=self.ecc,
+            soft_error_rate=self.soft_error_rate,
+            soft_error_rng=self.soft_error_rng,
         )
         self._occupied = False
 
@@ -152,6 +162,12 @@ class TransmissionSoftBuffer:
         words; it is partitioned row-wise among the slots.
     ecc:
         Optional Hamming code protecting every stored word.
+    soft_error_rate:
+        Per-read transient upset probability per cell (composes with the
+        persistent fault map; see :class:`~repro.memory.array.MemoryArray`).
+    soft_error_rng:
+        Seed or generator driving the transient upsets; one stream is
+        shared by all slots (reads visit slots in a fixed order).
     """
 
     words_per_transmission: int
@@ -159,6 +175,8 @@ class TransmissionSoftBuffer:
     quantizer: LlrQuantizer = field(default_factory=LlrQuantizer)
     fault_map: Optional[FaultMap] = None
     ecc: Optional[HammingCode] = None
+    soft_error_rate: float = 0.0
+    soft_error_rng: RngLike = None
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.words_per_transmission, "words_per_transmission")
@@ -175,6 +193,7 @@ class TransmissionSoftBuffer:
             raise ValueError(
                 f"fault map covers {die_map.num_words} words, buffer needs {total_words}"
             )
+        soft_rng = as_rng(self.soft_error_rng) if self.soft_error_rate > 0.0 else None
         self._slot_arrays = []
         for slot in range(self.num_slots):
             start = slot * self.words_per_transmission
@@ -185,6 +204,8 @@ class TransmissionSoftBuffer:
                     bits_per_word=self.quantizer.num_bits,
                     fault_map=die_map.row_slice(start, stop),
                     ecc=self.ecc,
+                    soft_error_rate=self.soft_error_rate,
+                    soft_error_rng=soft_rng,
                 )
             )
         self._slot_redundancy_versions: list[Optional[int]] = [None] * self.num_slots

@@ -13,6 +13,31 @@ from repro.phy.quantization import LlrQuantizer
 from repro.utils.validation import ensure_positive_int
 
 
+def parse_fading_token(token: str) -> Optional[float]:
+    """Validate a fading-mode token, returning the Doppler frequency.
+
+    ``"block"`` (the quasi-static default) maps to ``None``;
+    ``"jakes:<doppler_hz>"`` maps to the positive maximum Doppler frequency
+    in Hz.
+    """
+    value = str(token).strip().lower()
+    if value == "block":
+        return None
+    if value.startswith("jakes:"):
+        try:
+            doppler_hz = float(value[6:])
+        except ValueError:
+            raise ValueError(
+                f"bad fading token {token!r}: jakes:<doppler_hz> needs a number"
+            ) from None
+        if doppler_hz <= 0:
+            raise ValueError("jakes Doppler frequency must be positive")
+        return doppler_hz
+    raise ValueError(
+        f"unknown fading token {token!r}; use 'block' or 'jakes:<doppler_hz>'"
+    )
+
+
 @dataclass(frozen=True)
 class LinkConfig:
     """All parameters of one link-level operating mode.
@@ -75,6 +100,17 @@ class LinkConfig:
         ``decoder_backend="numpy-f32"`` to keep the whole receive chain in
         single precision.  Non-default, so run identities and goldens are
         untouched by its existence.
+    fading:
+        Time-selectivity of the channel within one transmission.  The
+        default ``"block"`` keeps the historical quasi-static model (one
+        multipath realisation per transmission, constant over the packet);
+        ``"jakes:<doppler_hz>"`` additionally modulates the transmit
+        samples with a unit-power time-correlated Jakes waveform at the
+        given maximum Doppler frequency, so the channel varies *inside*
+        a packet.  The receiver tracks the waveform with perfect CSI
+        (per-symbol gain compensation and per-symbol demapper noise
+        variances).  Non-default, so run identities and goldens are
+        untouched by its existence.
     """
 
     modulation: str = "64QAM"
@@ -94,6 +130,7 @@ class LinkConfig:
     buffer_architecture: str = "per-transmission"
     decoder_backend: str = "numpy"
     llr_dtype: str = "float64"
+    fading: str = "block"
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.payload_bits, "payload_bits")
@@ -123,6 +160,7 @@ class LinkConfig:
             raise ValueError(
                 f"llr_dtype must be 'float64' or 'float32', got {self.llr_dtype!r}"
             )
+        parse_fading_token(self.fading)  # validates
         # Validates the token (raises on typos); availability is resolved at
         # decoder construction time, falling back to numpy if necessary.
         from repro.phy.turbo.backends import parse_backend_name
@@ -203,6 +241,27 @@ class LinkConfig:
         return np.float32 if self.llr_dtype == "float32" else np.float64
 
     @property
+    def fading_doppler_hz(self) -> Optional[float]:
+        """Maximum Doppler of the intra-packet fading (``None`` for block fading)."""
+        return parse_fading_token(self.fading)
+
+    def fading_process(self):
+        """The intra-packet :class:`~repro.channel.fading.JakesFadingProcess`.
+
+        Returns ``None`` in the default block-fading mode.  The waveform is
+        sampled at the transmit sample (chip) rate implied by
+        :attr:`sample_period_ns`.
+        """
+        doppler_hz = self.fading_doppler_hz
+        if doppler_hz is None:
+            return None
+        from repro.channel.fading import JakesFadingProcess
+
+        return JakesFadingProcess(
+            doppler_hz=doppler_hz, sample_rate_hz=1e9 / self.sample_period_ns
+        )
+
+    @property
     def profile(self) -> PowerDelayProfile:
         """The resolved power delay profile object."""
         if isinstance(self.channel_profile, PowerDelayProfile):
@@ -225,7 +284,8 @@ class LinkConfig:
             "" if self.decoder_backend == "numpy" else f", decoder {self.decoder_backend}"
         )
         dtype = "" if self.llr_dtype == "float64" else f", llr dtype {self.llr_dtype}"
-        backend += dtype
+        fading = "" if self.fading == "block" else f", fading {self.fading}"
+        backend += dtype + fading
         return (
             f"{self.modulation}, K={self.block_size} bits "
             f"(payload {self.payload_bits} + CRC {self.crc_bits}), "

@@ -54,8 +54,16 @@ class Receiver:
         received: np.ndarray,
         impulse_response: np.ndarray,
         noise_variance: float,
-    ) -> tuple[np.ndarray, float]:
-        """Recover transmitted symbols and the post-detection noise variance."""
+        fading_gains: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, "float | np.ndarray"]:
+        """Recover transmitted symbols and the post-detection noise variance.
+
+        With *fading_gains* (the per-sample intra-packet fading waveform the
+        transmit samples were modulated with), the receiver compensates each
+        recovered sample with perfect CSI: samples are divided by their gain
+        and the effective noise variance becomes a per-symbol array — a deep
+        fade yields near-zero LLRs rather than confidently wrong ones.
+        """
         num_samples = self.config.symbols_per_transmission
         if self.spreader is not None:
             num_samples *= self.spreader.spreading_factor
@@ -68,13 +76,30 @@ class Receiver:
                 received, impulse_response, noise_variance, num_samples
             )
             symbols, effective_noise = output.symbols, output.effective_noise_variance
+        if fading_gains is not None:
+            gains = np.asarray(fading_gains, dtype=np.complex128).reshape(-1)
+            if gains.size != symbols.size:
+                raise ValueError(
+                    f"fading_gains length {gains.size} does not match "
+                    f"{symbols.size} recovered samples"
+                )
+            gain_power = np.maximum(np.abs(gains) ** 2, 1e-30)
+            symbols = symbols * np.conj(gains) / gain_power
+            effective_noise = effective_noise / gain_power
         if self.spreader is not None:
             symbols = self.spreader.despread(symbols)
-            # Despreading averages SF chips, reducing the noise variance.
-            effective_noise = effective_noise / self.spreader.spreading_factor
+            # Despreading averages SF chips, reducing the noise variance:
+            # Var(mean of SF chips) = mean(per-chip variance) / SF.
+            sf = self.spreader.spreading_factor
+            if np.ndim(effective_noise):
+                effective_noise = effective_noise.reshape(-1, sf).mean(axis=1) / sf
+            else:
+                effective_noise = effective_noise / sf
         return symbols, effective_noise
 
-    def demap(self, symbols: np.ndarray, effective_noise_variance: float) -> np.ndarray:
+    def demap(
+        self, symbols: np.ndarray, effective_noise_variance: "float | np.ndarray"
+    ) -> np.ndarray:
         """Soft-demap equalized symbols into channel-bit LLRs.
 
         The output dtype follows :attr:`LinkConfig.llr_dtype`, so the opt-in
@@ -99,13 +124,16 @@ class Receiver:
         received: np.ndarray,
         impulse_response: np.ndarray,
         noise_variance: float,
+        fading_gains: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Equalize and demap one transmission into channel-bit LLRs.
 
         These are the LLRs the HARQ memory stores in the per-transmission
         buffer organisation (before de-interleaving / de-rate-matching).
         """
-        symbols, effective_noise = self.equalize(received, impulse_response, noise_variance)
+        symbols, effective_noise = self.equalize(
+            received, impulse_response, noise_variance, fading_gains=fading_gains
+        )
         return self.demap(symbols, effective_noise)
 
     def process_transmission(
@@ -114,12 +142,15 @@ class Receiver:
         impulse_response: np.ndarray,
         noise_variance: float,
         redundancy_version: int,
+        fading_gains: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Full front-end processing of one (re)transmission.
 
         Returns the mother-code-domain LLRs ready for HARQ combining.
         """
-        channel_llrs = self.front_end(received, impulse_response, noise_variance)
+        channel_llrs = self.front_end(
+            received, impulse_response, noise_variance, fading_gains=fading_gains
+        )
         return self.to_mother_domain(channel_llrs, redundancy_version)
 
     def decode(self, combined_mother_llrs: np.ndarray):

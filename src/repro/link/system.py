@@ -119,16 +119,23 @@ class HspaLikeLink:
         self.transmitter = Transmitter(config)
         self.receiver = Receiver(config, self.transmitter, use_rake=use_rake)
         self.channel = MultipathChannel(config.profile, config.sample_period_ns)
+        #: Intra-packet fading waveform generator (None in block-fading mode).
+        self.fading_process = config.fading_process()
 
     # ------------------------------------------------------------------ #
     # buffer construction
     # ------------------------------------------------------------------ #
-    def make_buffer(self, fault_map=None, ecc=None) -> SoftBuffer:
+    def make_buffer(
+        self, fault_map=None, ecc=None, soft_error_rate=0.0, soft_error_rng=None
+    ) -> SoftBuffer:
         """Create a soft buffer matching the configured architecture.
 
         The fault map (if given) must cover
         :attr:`~repro.link.config.LinkConfig.llr_storage_words` words of
         ``llr_bits`` columns (or the ECC codeword width when *ecc* is given).
+        A positive *soft_error_rate* additionally flips each stored cell
+        with that probability on every read (transient upsets, redrawn from
+        *soft_error_rng* per read), composing with the persistent map.
         """
         if self.config.buffer_architecture == "per-transmission":
             return TransmissionSoftBuffer(
@@ -137,12 +144,16 @@ class HspaLikeLink:
                 quantizer=self.config.quantizer,
                 fault_map=fault_map,
                 ecc=ecc,
+                soft_error_rate=soft_error_rate,
+                soft_error_rng=soft_error_rng,
             )
         return LlrSoftBuffer(
             num_llrs=self.config.llr_storage_words,
             quantizer=self.config.quantizer,
             fault_map=fault_map,
             ecc=ecc,
+            soft_error_rate=soft_error_rate,
+            soft_error_rng=soft_error_rng,
         )
 
     # ------------------------------------------------------------------ #
@@ -228,14 +239,29 @@ class HspaLikeLink:
         """Run one packet's (re)transmission through channel and front end.
 
         Returns the combined mother-domain LLRs ready for decoding.
+
+        In the intra-packet fading mode each (re)transmission draws an
+        independent Jakes realisation (block fading across HARQ attempts,
+        time-correlated within one packet) from the packet's own stream; the
+        noise power is derived from the *unfaded* transmit power so a deep
+        fade lowers the instantaneous SNR instead of being renormalised
+        away.  Block-fading mode consumes no extra random draws, keeping
+        seeded streams identical to the historical model.
         """
         samples = self.transmitter.transmit(state.packet, redundancy_version)
+        fading_gains = None
+        mean_signal_power = None
+        if self.fading_process is not None:
+            mean_signal_power = float(np.mean(np.abs(samples) ** 2))
+            realization = self.fading_process.realization(state.rng)
+            fading_gains = realization.gains(0, samples.size)
+            samples = samples * fading_gains
         received, impulse_response, noise_variance = self.channel.apply(
-            samples, state.snr_db, state.rng
+            samples, state.snr_db, state.rng, mean_signal_power=mean_signal_power
         )
         if self.config.buffer_architecture == "per-transmission":
             channel_llrs = self.receiver.front_end(
-                received, impulse_response, noise_variance
+                received, impulse_response, noise_variance, fading_gains=fading_gains
             )
             state.buffer.store_transmission(
                 transmission_index, channel_llrs, redundancy_version
@@ -243,7 +269,11 @@ class HspaLikeLink:
             combined = state.buffer.combined_mother_llrs(self.receiver.to_mother_domain)
         else:
             mother_llrs = self.receiver.process_transmission(
-                received, impulse_response, noise_variance, redundancy_version
+                received,
+                impulse_response,
+                noise_variance,
+                redundancy_version,
+                fading_gains=fading_gains,
             )
             combined = state.buffer.combine_and_store(mother_llrs)
         state.transmissions += 1

@@ -20,7 +20,7 @@ from repro.memory.cells import (
     SoftErrorModel,
 )
 from repro.memory.failure_model import FailureModel
-from repro.memory.faults import FaultMap, FaultModel
+from repro.memory.faults import FaultMap, FaultModel, FaultModelSpec, coerce_fault_model
 from repro.memory.array import MemoryArray
 from repro.memory.ecc import HammingCode
 from repro.memory.redundancy import RedundancyRepair
@@ -43,6 +43,7 @@ __all__ = [
     "FailureModel",
     "FaultMap",
     "FaultModel",
+    "FaultModelSpec",
     "HammingCode",
     "HybridArrayConfig",
     "MemoryArray",
@@ -50,6 +51,7 @@ __all__ = [
     "RedundancyRepair",
     "SoftErrorModel",
     "acceptance_yield",
+    "coerce_fault_model",
     "defect_free_yield",
     "max_cell_failure_probability",
     "min_defects_for_yield",

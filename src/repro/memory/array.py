@@ -20,7 +20,8 @@ import numpy as np
 
 from repro.memory.ecc import HammingCode
 from repro.memory.faults import FaultMap
-from repro.utils.validation import ensure_positive_int
+from repro.utils.rng import as_rng
+from repro.utils.validation import ensure_positive_int, ensure_probability
 
 
 @dataclass
@@ -40,18 +41,33 @@ class MemoryArray:
         columns with ECC.
     ecc:
         Optional Hamming code protecting every word.
+    soft_error_rate:
+        Probability that any cell suffers a *transient* (non-persistent)
+        upset per read — the paper's soft-error mechanism.  Unlike the
+        persistent fault map, these flips are redrawn on every read and
+        compose with the persistent faults (a flipped faulty cell flips the
+        already-corrupted value).  The default 0.0 disables the mechanism
+        and consumes no randomness.
+    soft_error_rng:
+        Seed or generator driving the per-read upsets (required for
+        reproducible soft-error runs; fresh OS entropy when omitted).
     """
 
     num_words: int
     bits_per_word: int
     fault_map: Optional[FaultMap] = None
     ecc: Optional[HammingCode] = None
+    soft_error_rate: float = 0.0
+    soft_error_rng: object = None
 
     _stored_bits: np.ndarray = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.num_words, "num_words")
         ensure_positive_int(self.bits_per_word, "bits_per_word")
+        ensure_probability(self.soft_error_rate, "soft_error_rate")
+        if self.soft_error_rate > 0.0:
+            self.soft_error_rng = as_rng(self.soft_error_rng)
         if self.ecc is not None and self.ecc.data_bits != self.bits_per_word:
             raise ValueError(
                 f"ECC data width {self.ecc.data_bits} does not match "
@@ -120,8 +136,16 @@ class MemoryArray:
         self._stored_bits = bits.astype(np.int8)
 
     def read_bits(self) -> np.ndarray:
-        """Read the raw stored bits back through the fault map (no ECC decode)."""
-        return self.fault_map.apply_to_bits(self._stored_bits)
+        """Read the raw stored bits back through the fault map (no ECC decode).
+
+        Transient soft errors (if enabled) are drawn independently on every
+        read, *after* the persistent fault map is applied.
+        """
+        read = self.fault_map.apply_to_bits(self._stored_bits)
+        if self.soft_error_rate > 0.0:
+            upsets = self.soft_error_rng.random(read.shape) < self.soft_error_rate
+            read[upsets] ^= 1
+        return read
 
     def read_words(self) -> np.ndarray:
         """Read back word values, applying fault injection and ECC correction."""

@@ -33,6 +33,92 @@ class FaultModel(str, Enum):
     STUCK_AT_RANDOM = "stuck-at-random"
 
 
+@dataclass(frozen=True)
+class FaultModelSpec:
+    """A fault model plus the spatial placement of the faulty cells.
+
+    The historical tokens (``"bit-flip"``, ``"stuck-at-0"``, ...) keep their
+    uniform placement; ``"clustered:<r>"`` places the same exact fault count
+    in spatially-correlated clusters of Chebyshev radius ``r`` on the
+    ``(word, bit)`` grid (shared-well / multi-cell defects), with the
+    paper's bit-flip read-out semantics.
+
+    Attributes
+    ----------
+    model:
+        Read-out semantics of faulty cells.
+    placement:
+        ``"uniform"`` (independent random locations) or ``"clustered"``.
+    cluster_radius:
+        Chebyshev radius of one cluster (``0`` for uniform placement).
+    """
+
+    model: FaultModel = FaultModel.BIT_FLIP
+    placement: str = "uniform"
+    cluster_radius: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "model", FaultModel(self.model))
+        if self.placement not in ("uniform", "clustered"):
+            raise ValueError(
+                f"placement must be 'uniform' or 'clustered', got {self.placement!r}"
+            )
+        if self.placement == "clustered":
+            ensure_positive_int(self.cluster_radius, "cluster_radius")
+        elif self.cluster_radius != 0:
+            raise ValueError("cluster_radius applies to clustered placement only")
+
+    @property
+    def token(self) -> str:
+        """The canonical string token naming this spec."""
+        if self.placement == "clustered":
+            return f"clustered:{self.cluster_radius}"
+        return self.model.value
+
+    @classmethod
+    def parse(cls, value: "FaultModelSpec | FaultModel | str") -> "FaultModelSpec":
+        """Resolve a fault-model token (or instance) to a spec.
+
+        Accepts an existing spec (returned unchanged), a :class:`FaultModel`
+        and the string tokens ``"bit-flip"`` / ``"stuck-at-*"`` (uniform
+        placement) or ``"clustered:<r>"`` (clustered bit-flips of radius
+        *r*).
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, FaultModel):
+            return cls(model=value)
+        token = str(value).strip().lower()
+        if token.startswith("clustered:"):
+            try:
+                radius = int(token[10:])
+            except ValueError:
+                raise ValueError(
+                    f"bad fault-model token {value!r}: clustered:<r> needs an integer"
+                ) from None
+            return cls(placement="clustered", cluster_radius=radius)
+        try:
+            return cls(model=FaultModel(token))
+        except ValueError:
+            raise ValueError(
+                f"unknown fault-model token {value!r}; use one of "
+                f"{[m.value for m in FaultModel]} or 'clustered:<r>'"
+            ) from None
+
+
+def coerce_fault_model(
+    value: "FaultModelSpec | FaultModel | str",
+) -> "FaultModel | FaultModelSpec":
+    """Normalise a fault-model token for storage on a work item.
+
+    Uniform placements reduce to the plain :class:`FaultModel` (keeping the
+    historical task contents byte-for-byte); clustered placements keep the
+    full :class:`FaultModelSpec`.
+    """
+    spec = FaultModelSpec.parse(value)
+    return spec.model if spec.placement == "uniform" else spec
+
+
 @dataclass
 class FaultMap:
     """Fault locations of one memory-array instance (one manufactured die).
@@ -171,6 +257,89 @@ class FaultMap:
                     "column_failure_probabilities must have length bits_per_word"
                 )
         mask = generator.random((num_words, bits_per_word)) < probabilities[None, :]
+        stuck = None
+        if fault_model is FaultModel.STUCK_AT_RANDOM:
+            stuck = generator.integers(0, 2, size=mask.shape, dtype=np.int8)
+        return cls(num_words, bits_per_word, mask, fault_model, stuck)
+
+    @classmethod
+    def with_clustered_fault_count(
+        cls,
+        num_words: int,
+        bits_per_word: int,
+        num_faults: int,
+        cluster_radius: int,
+        rng: RngLike = None,
+        fault_model: FaultModel = FaultModel.BIT_FLIP,
+        protected_columns: Optional[np.ndarray] = None,
+    ) -> "FaultMap":
+        """Place exactly *num_faults* faults in spatially-correlated clusters.
+
+        The clustered counterpart of :meth:`with_exact_fault_count` (same
+        marginal defect rate by construction, same acceptance-criterion
+        semantics): cluster centres are drawn uniformly over the eligible
+        cells, and each cluster marks the eligible cells within Chebyshev
+        radius *cluster_radius* of its centre on the ``(word, bit)`` grid —
+        nearest first — until the fault budget is spent.  Models multi-cell
+        defects (shared wells, supply droop) whose burst errors the channel
+        interleaver is supposed to break up.
+
+        Parameters
+        ----------
+        cluster_radius:
+            Chebyshev radius of one cluster; radius ``r`` covers up to
+            ``(2r + 1)^2`` cells.
+        protected_columns:
+            Optional boolean array of length *bits_per_word*; ``True`` marks
+            robust bit positions that cannot fail (clusters flow around
+            them).
+        """
+        ensure_positive_int(num_words, "num_words")
+        ensure_positive_int(bits_per_word, "bits_per_word")
+        num_faults = ensure_non_negative_int(num_faults, "num_faults")
+        cluster_radius = ensure_positive_int(cluster_radius, "cluster_radius")
+        generator = as_rng(rng)
+
+        if protected_columns is None:
+            eligible_columns = np.arange(bits_per_word)
+        else:
+            protected = np.asarray(protected_columns, dtype=bool)
+            if protected.shape != (bits_per_word,):
+                raise ValueError("protected_columns must have length bits_per_word")
+            eligible_columns = np.nonzero(~protected)[0]
+
+        num_eligible = num_words * eligible_columns.size
+        if num_faults > num_eligible:
+            raise ValueError(
+                f"cannot place {num_faults} faults in {num_eligible} eligible cells"
+            )
+        mask = np.zeros((num_words, bits_per_word), dtype=bool)
+        placed = 0
+        while placed < num_faults:
+            flat = int(generator.integers(0, num_eligible))
+            centre_row = flat // eligible_columns.size
+            centre_col = int(eligible_columns[flat % eligible_columns.size])
+            rows = np.arange(
+                max(0, centre_row - cluster_radius),
+                min(num_words, centre_row + cluster_radius + 1),
+            )
+            cols = eligible_columns[
+                np.abs(eligible_columns - centre_col) <= cluster_radius
+            ]
+            grid_rows, grid_cols = np.meshgrid(rows, cols, indexing="ij")
+            grid_rows, grid_cols = grid_rows.ravel(), grid_cols.ravel()
+            fresh = ~mask[grid_rows, grid_cols]
+            grid_rows, grid_cols = grid_rows[fresh], grid_cols[fresh]
+            if not grid_rows.size:
+                continue  # the whole neighbourhood is already faulty
+            distance = np.maximum(
+                np.abs(grid_rows - centre_row), np.abs(grid_cols - centre_col)
+            )
+            order = np.lexsort((grid_cols, grid_rows, distance))
+            take = order[: num_faults - placed]
+            mask[grid_rows[take], grid_cols[take]] = True
+            placed += take.size
+
         stuck = None
         if fault_model is FaultModel.STUCK_AT_RANDOM:
             stuck = generator.integers(0, 2, size=mask.shape, dtype=np.int8)

@@ -77,6 +77,17 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 DEFAULT_SEED = 2012
 #: Experiments snapshotted by the golden-seed regression suite (all of them).
 GOLDEN_EXPERIMENTS = tuple(EXPERIMENTS)
+#: Non-figure scenarios snapshotted as ``tests/golden/scenario-<name>.json``
+#: (the new-physics compositions: intra-packet fading, clustered fault maps,
+#: transient soft errors).  Figure scenarios need no own snapshots — they are
+#: byte-identical to their experiment's golden file by construction.
+GOLDEN_SCENARIOS = (
+    "jakes-doppler-sweep",
+    "jakes-harq-gain",
+    "clustered-vs-uniform",
+    "soft-vs-hard-faults",
+    "clustered-interleaver-depth",
+)
 #: Fault-map sweeps that support ``--adaptive`` early stopping.
 ADAPTIVE_EXPERIMENTS = ("fig6", "fig7", "fig8", "fig9")
 
@@ -682,11 +693,15 @@ def _cmd_bler(args: argparse.Namespace) -> int:
 
 
 def _cmd_golden(args: argparse.Namespace) -> int:
-    names = args.experiments or list(GOLDEN_EXPERIMENTS)
+    names = args.experiments or list(GOLDEN_EXPERIMENTS) + list(GOLDEN_SCENARIOS)
     args.out_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
-        payload = experiment_payload(name, args.scale, args.seed, workers=1, cache=None)
-        path = args.out_dir / f"{name}.json"
+        if name in EXPERIMENTS:
+            payload = experiment_payload(name, args.scale, args.seed, workers=1, cache=None)
+            path = args.out_dir / f"{name}.json"
+        else:
+            payload = scenario_payload(name, args.scale, args.seed, cache=None)
+            path = args.out_dir / f"scenario-{name}.json"
         path.write_text(payload)
         print(f"wrote {path}")
     return 0

@@ -30,7 +30,7 @@ from repro.core.fault_simulator import FaultSimulationPoint
 from repro.core.protection import ProtectionScheme
 from repro.harq.metrics import HarqStatistics, merge_statistics
 from repro.link.config import LinkConfig
-from repro.memory.faults import FaultModel
+from repro.memory.faults import FaultModel, FaultModelSpec, coerce_fault_model
 from repro.link.system import HspaLikeLink, PacketGroup, simulate_packet_groups
 from repro.utils.rng import keyed_seed_sequence
 
@@ -206,6 +206,14 @@ class FaultMapTask:
     draw a worst-case accepted die with exactly ``Nf`` faults in the fallible
     cells, install it in the HARQ soft buffer, and push a packet batch
     through the link.
+
+    ``fault_model`` carries the read-out semantics and the spatial placement
+    (a plain :class:`~repro.memory.faults.FaultModel` for the historical
+    uniform placement, a :class:`~repro.memory.faults.FaultModelSpec` for
+    clustered placement).  A positive ``soft_error_rate`` additionally flips
+    each stored cell with that probability on every buffer read (transient
+    upsets), drawn from a dedicated child of the task's keyed stream — one
+    per packet, so results stay independent of batch composition.
     """
 
     config: LinkConfig
@@ -216,7 +224,8 @@ class FaultMapTask:
     entropy: int
     key: Tuple[int, ...]
     use_rake: bool = False
-    fault_model: FaultModel = FaultModel.BIT_FLIP
+    fault_model: "FaultModel | FaultModelSpec" = FaultModel.BIT_FLIP
+    soft_error_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -239,13 +248,24 @@ def simulate_fault_map(task: FaultMapTask) -> FaultMapOutcome:
 
 
 def _fault_map_group(link: HspaLikeLink, task: FaultMapTask) -> Tuple[PacketGroup, int, int]:
-    """Build one die's packet group (fault map installed) from its task."""
+    """Build one die's packet group (fault map installed) from its task.
+
+    With soft errors enabled the keyed stream spawns a third child whose
+    grandchildren seed one upset stream per packet buffer; with the default
+    rate of 0.0 the historical two-way spawn is untouched, so pre-existing
+    seeded runs are bit-identical.
+    """
     fallible = task.protection.unprotected_cells(task.config.llr_storage_words)
     if task.defect_rate < 0:
         raise ValueError("defect_rate must be non-negative")
     num_faults = int(round(task.defect_rate * fallible))
     seed = keyed_seed_sequence(task.entropy, task.key)
-    map_seed, sim_seed = seed.spawn(2)
+    if task.soft_error_rate > 0.0:
+        map_seed, sim_seed, soft_seed = seed.spawn(3)
+        soft_seeds = soft_seed.spawn(task.num_packets)
+    else:
+        map_seed, sim_seed = seed.spawn(2)
+        soft_seeds = None
     fault_map = task.protection.make_fault_map(
         task.config.llr_storage_words,
         num_faults,
@@ -254,8 +274,13 @@ def _fault_map_group(link: HspaLikeLink, task: FaultMapTask) -> Tuple[PacketGrou
     )
     ecc = task.protection.ecc
 
-    def buffer_factory(_index: int):
-        return link.make_buffer(fault_map=fault_map, ecc=ecc)
+    def buffer_factory(index: int):
+        return link.make_buffer(
+            fault_map=fault_map,
+            ecc=ecc,
+            soft_error_rate=task.soft_error_rate,
+            soft_error_rng=None if soft_seeds is None else soft_seeds[index],
+        )
 
     group = PacketGroup(
         num_packets=task.num_packets,
@@ -337,8 +362,10 @@ class GridPoint:
     snr_db, defect_rate:
         Operating conditions.
     fault_model:
-        Read-out semantics of the injected faults (bit-flip by default,
-        matching the paper's model).
+        Read-out semantics and placement of the injected faults (bit-flip,
+        uniformly placed by default, matching the paper's model).
+    soft_error_rate:
+        Per-read transient upset probability per cell (0.0 disables).
     """
 
     key_prefix: Tuple[int, ...]
@@ -346,7 +373,8 @@ class GridPoint:
     protection: ProtectionScheme
     snr_db: float
     defect_rate: float
-    fault_model: FaultModel = FaultModel.BIT_FLIP
+    fault_model: "FaultModel | FaultModelSpec" = FaultModel.BIT_FLIP
+    soft_error_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -465,6 +493,7 @@ def run_fault_map_grid(
                 key_prefix=point.key_prefix,
                 use_rake=use_rake,
                 fault_model=point.fault_model,
+                soft_error_rate=point.soft_error_rate,
             )
         )
     task_groups = group_tasks_for_batching(tasks, aggregate_packets)
@@ -530,6 +559,7 @@ def _run_adaptive_point(
                 key=point.key_prefix + (num_dies + i,),
                 use_rake=use_rake,
                 fault_model=point.fault_model,
+                soft_error_rate=point.soft_error_rate,
             )
             for i in range(round_dies)
         ]
@@ -566,7 +596,8 @@ def fault_map_tasks_for_point(
     entropy: int,
     key_prefix: Tuple[int, ...],
     use_rake: bool = False,
-    fault_model: FaultModel = FaultModel.BIT_FLIP,
+    fault_model: "FaultModel | FaultModelSpec | str" = FaultModel.BIT_FLIP,
+    soft_error_rate: float = 0.0,
 ) -> List[FaultMapTask]:
     """The standard sharding of one operating point: one task per die.
 
@@ -585,7 +616,8 @@ def fault_map_tasks_for_point(
             entropy=entropy,
             key=key_prefix + (map_index,),
             use_rake=use_rake,
-            fault_model=FaultModel(fault_model),
+            fault_model=coerce_fault_model(fault_model),
+            soft_error_rate=float(soft_error_rate),
         )
         for map_index in range(num_fault_maps)
     ]

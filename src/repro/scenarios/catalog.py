@@ -133,3 +133,75 @@ register_scenario(
         axes=(SweepAxis("combining", ("chase", "ir")), SweepAxis("snr_db")),
     )
 )
+
+
+# --------------------------------------------------------------------------- #
+# time-correlated fading, clustered defects and transient soft errors (PR 5)
+# --------------------------------------------------------------------------- #
+# The Jakes Doppler values are deliberately extreme: at the UMTS chip rate a
+# smoke-scale packet spans only ~8 us, so bringing the coherence time
+# (0.423 / fD) down to the packet duration — the regime the axis is meant to
+# probe — needs tens of kHz of Doppler.
+register_scenario(
+    ScenarioSpec(
+        name="jakes-doppler-sweep",
+        title="HARQ failure probability under intra-packet Jakes fading",
+        summary="time-correlated (Jakes) fading inside each transmission, Doppler x SNR grid",
+        kind="bler",
+        axes=(
+            SweepAxis("fading", ("block", "jakes:4000", "jakes:40000", "jakes:120000")),
+            SweepAxis("snr_db"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="jakes-harq-gain",
+        title="Defect absorption by HARQ when the channel varies within a packet",
+        summary="LLR-storage defect x SNR grid with intra-packet Jakes fading (fD = 40 kHz)",
+        kind="fault",
+        fading="jakes:40000",
+        axes=(SweepAxis("defect_rate"), SweepAxis("snr_db")),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="clustered-vs-uniform",
+        title="Spatial fault correlation: clustered vs uniform defect placement",
+        summary="fault-placement axis (uniform bit-flips vs clusters of radius 2 / 6) at 10% defects",
+        kind="fault",
+        defect_rate=0.10,
+        axes=(
+            SweepAxis("fault_model", ("bit-flip", "clustered:2", "clustered:6")),
+            SweepAxis("snr_db"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="soft-vs-hard-faults",
+        title="Transient soft errors vs persistent parametric faults",
+        summary="per-read upset rate x persistent defect rate grid at 20 dB",
+        kind="fault",
+        snr_db=20.0,
+        axes=(
+            SweepAxis("soft_error_rate", (0.0, 1e-3, 1e-2)),
+            SweepAxis("defect_rate"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="clustered-interleaver-depth",
+        title="Interleaver depth against clustered LLR-storage defects",
+        summary="channel-interleaver columns axis under radius-4 fault clusters at 10% defects",
+        kind="fault",
+        fault_model="clustered:4",
+        defect_rate=0.10,
+        axes=(SweepAxis("interleaver_columns", (6, 30, 90)), SweepAxis("snr_db")),
+    )
+)

@@ -31,7 +31,7 @@ from repro.core.results import SweepTable
 from repro.experiments.scales import Scale, get_scale
 from repro.harq.metrics import HarqStatistics, merge_statistics
 from repro.link.config import LinkConfig
-from repro.memory.faults import FaultModel
+from repro.memory.faults import coerce_fault_model
 from repro.runner.parallel import ParallelRunner, runner_scope
 from repro.runner.tasks import (
     GridPoint,
@@ -133,7 +133,9 @@ def expand_grid(spec: ScenarioSpec, scale: Scale) -> List[ScenarioCell]:
     offset = 1 if spec.reference_point else 0
     cells: List[ScenarioCell] = []
     if spec.reference_point:
-        reference = replace(spec, protection="none", defect_rate=0.0, vdd=None)
+        reference = replace(
+            spec, protection="none", defect_rate=0.0, vdd=None, soft_error_rate=0.0
+        )
         cells.append(
             ScenarioCell(key=(0,), values={}, spec=reference, is_reference=True)
         )
@@ -169,7 +171,8 @@ def _cell_grid_point(
         protection=resolve_protection(spec.protection, config.llr_bits),
         snr_db=float(spec.snr_db),
         defect_rate=cell_defect_rate(spec),
-        fault_model=FaultModel(spec.fault_model),
+        fault_model=coerce_fault_model(spec.fault_model),
+        soft_error_rate=float(spec.soft_error_rate),
     )
 
 

@@ -22,9 +22,9 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.experiments.scales import Scale
 from repro.harq.combining import CombiningScheme
-from repro.link.config import LinkConfig
+from repro.link.config import LinkConfig, parse_fading_token
 from repro.memory.cells import BitCellType, CELL_6T
-from repro.memory.faults import FaultModel
+from repro.memory.faults import FaultModelSpec
 from repro.core.protection import (
     EccProtection,
     FullCellProtection,
@@ -42,13 +42,16 @@ AXIS_FIELDS = (
     "protection",
     "protected_bits",
     "fault_model",
+    "soft_error_rate",
     "llr_bits",
     "modulation",
     "channel_profile",
+    "fading",
     "combining",
     "max_transmissions",
     "turbo_iterations",
     "llr_max_abs",
+    "interleaver_columns",
 )
 
 #: Scalar spec fields an override may replace directly.
@@ -116,15 +119,21 @@ class ScenarioSpec:
         ``None`` for compositions the paper never ran.
     modulation, channel_profile, llr_bits, llr_max_abs, llr_dtype,
     turbo_iterations, max_transmissions, combining, buffer_architecture,
-    decoder_backend:
+    decoder_backend, fading, interleaver_columns:
         Link-configuration fields; ``None`` keeps the scale/link default.
         ``combining`` takes the :class:`CombiningScheme` tokens ``"chase"``
-        / ``"ir"``.
+        / ``"ir"``; ``fading`` takes ``"block"`` (quasi-static, the
+        default) or ``"jakes:<doppler_hz>"`` (intra-packet time-correlated
+        fading).
     equalizer:
         ``"mmse"`` (default) or ``"rake"``.
     fault_model:
-        Fault read-out semantics token (see
-        :class:`~repro.memory.faults.FaultModel`).
+        Fault read-out semantics / placement token (see
+        :class:`~repro.memory.faults.FaultModelSpec`): ``"bit-flip"``,
+        ``"stuck-at-*"`` or ``"clustered:<r>"``.
+    soft_error_rate:
+        Per-read transient upset probability per stored cell, composing
+        with the persistent fault map (fault-kind scenarios only).
     protection:
         Storage scheme token: ``"none"``, ``"msb:<k>"``, ``"all-8T"``,
         ``"ecc"`` or ``"ecc-ded"``.
@@ -171,8 +180,11 @@ class ScenarioSpec:
     combining: Optional[str] = None
     buffer_architecture: Optional[str] = None
     decoder_backend: Optional[str] = None
+    fading: Optional[str] = None
+    interleaver_columns: Optional[int] = None
     # -- memory fault / protection / operating point -------------------- #
     fault_model: str = "bit-flip"
+    soft_error_rate: float = 0.0
     protection: str = "none"
     defect_rate: float = 0.0
     vdd: Optional[float] = None
@@ -191,12 +203,21 @@ class ScenarioSpec:
             )
         if self.equalizer not in ("mmse", "rake"):
             raise ValueError(f"equalizer must be 'mmse' or 'rake', got {self.equalizer!r}")
-        FaultModel(self.fault_model)  # validates the token
+        FaultModelSpec.parse(self.fault_model)  # validates the token
         parse_protection_token(self.protection)
         if self.combining is not None:
             parse_combining(self.combining)
+        if self.fading is not None:
+            parse_fading_token(self.fading)
         if self.defect_rate < 0:
             raise ValueError("defect_rate must be non-negative")
+        if not 0.0 <= self.soft_error_rate <= 1.0:
+            raise ValueError("soft_error_rate must be a probability")
+        if self.soft_error_rate > 0.0 and self.kind != "fault":
+            raise ValueError(
+                "soft_error_rate applies to fault-kind scenarios only "
+                "(the defect-free BLER path has no memory to upset)"
+            )
         object.__setattr__(self, "axes", tuple(self.axes))
         seen = set()
         for axis in self.axes:
@@ -338,6 +359,8 @@ def resolve_link_config(
         combining=combining,
         buffer_architecture=spec.buffer_architecture,
         decoder_backend=decoder_backend or spec.decoder_backend,
+        fading=spec.fading,
+        interleaver_columns=spec.interleaver_columns,
     )
 
 

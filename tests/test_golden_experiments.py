@@ -1,10 +1,13 @@
 """Golden-seed regression suite: every driver's smoke-scale output is pinned.
 
 Each file under ``tests/golden/`` snapshots the full normalised output
-(tables + extras) of one experiment at the ``smoke`` scale with seed 2012.
-Any numeric drift beyond 1e-9 — a changed default, a reordered reduction, a
-different seeding path — fails the suite.  After an *intentional* change to
-experiment behaviour, regenerate the snapshots with::
+(tables + extras) of one experiment at the ``smoke`` scale with seed 2012;
+the ``scenario-*.json`` files snapshot the non-figure scenarios that open
+the new physics (intra-packet fading, clustered fault maps, transient soft
+errors).  Any numeric drift beyond 1e-9 — a changed default, a reordered
+reduction, a different seeding path — fails the suite.  After an
+*intentional* change to experiment behaviour, regenerate the snapshots
+with::
 
     PYTHONPATH=src python -m repro golden --out-dir tests/golden
 """
@@ -16,7 +19,12 @@ from pathlib import Path
 import pytest
 
 from repro.runner.cache import serialize_payload
-from repro.runner.cli import GOLDEN_EXPERIMENTS, run_identity
+from repro.runner.cli import (
+    GOLDEN_EXPERIMENTS,
+    GOLDEN_SCENARIOS,
+    run_identity,
+    scenario_payload,
+)
 from repro.runner.registry import run_experiment
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -60,6 +68,11 @@ def test_every_experiment_has_a_snapshot():
     missing = [
         name for name in GOLDEN_EXPERIMENTS if not (GOLDEN_DIR / f"{name}.json").exists()
     ]
+    missing += [
+        name
+        for name in GOLDEN_SCENARIOS
+        if not (GOLDEN_DIR / f"scenario-{name}.json").exists()
+    ]
     assert not missing, f"missing golden snapshots for {missing}; {REGEN_HINT}"
 
 
@@ -79,4 +92,14 @@ def test_golden_output(experiment):
             extras=outcome.extras,
         )
     )
+    _assert_close(actual, expected)
+
+
+@pytest.mark.parametrize("scenario", GOLDEN_SCENARIOS)
+def test_golden_scenario_output(scenario):
+    golden_path = GOLDEN_DIR / f"scenario-{scenario}.json"
+    if not golden_path.exists():
+        pytest.fail(f"no golden snapshot for scenario {scenario}; {REGEN_HINT}")
+    expected = json.loads(golden_path.read_text())
+    actual = json.loads(scenario_payload(scenario, GOLDEN_SCALE, GOLDEN_SEED, cache=None))
     _assert_close(actual, expected)

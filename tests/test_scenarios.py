@@ -57,6 +57,11 @@ NEW_SCENARIOS = (
     "ecc-low-voltage",
     "float32-llr",
     "chase-vs-ir",
+    "jakes-doppler-sweep",
+    "jakes-harq-gain",
+    "clustered-vs-uniform",
+    "soft-vs-hard-faults",
+    "clustered-interleaver-depth",
 )
 
 
@@ -467,3 +472,168 @@ class TestDefaultTables:
             run_scenario_grid(
                 get_scenario("rayleigh-harq"), micro_scale, seed=5, adaptive=True
             )
+
+
+# --------------------------------------------------------------------------- #
+class TestNewPhysicsScenarios:
+    """The PR-5 physics: intra-packet fading, clustered faults, soft errors."""
+
+    def _run(self, name, micro_scale, seed=11, **kwargs):
+        return run_scenario(get_scenario(name), micro_scale, seed, **kwargs)
+
+    def test_jakes_doppler_sweep_covers_fading_axis(self, micro_scale):
+        table = self._run("jakes-doppler-sweep", micro_scale)
+        assert set(table.column("fading")) == {
+            "block", "jakes:4000", "jakes:40000", "jakes:120000",
+        }
+        assert all(0.0 <= row["failure_probability"] <= 1.0 for row in table.rows)
+        assert table.to_json() == self._run("jakes-doppler-sweep", micro_scale).to_json()
+
+    def test_jakes_harq_gain_reports_fading_config(self, micro_scale):
+        table = self._run("jakes-harq-gain", micro_scale)
+        assert "fading jakes:40000" in table.metadata["config"]
+        assert len(table.rows) == 4  # 2 defect rates x 2 SNR points
+        assert all(0.0 <= row["throughput"] <= 1.0 for row in table.rows)
+
+    def test_clustered_vs_uniform_covers_placements(self, micro_scale):
+        table = self._run("clustered-vs-uniform", micro_scale)
+        assert set(table.column("fault_model")) == {
+            "bit-flip", "clustered:2", "clustered:6",
+        }
+        # Same exact fault budget per die on every placement.
+        counts = {}
+        for row in table.rows:
+            counts.setdefault(row["snr_db"], set()).add(row["num_faults"])
+        for faults in counts.values():
+            assert len(faults) == 1
+
+    def test_soft_vs_hard_faults_grid(self, micro_scale):
+        table = self._run("soft-vs-hard-faults", micro_scale)
+        assert set(table.column("soft_error_rate")) == {0.0, 1e-3, 1e-2}
+        assert len(table.rows) == 3 * 2  # 3 upset rates x 2 defect rates
+        # The zero-rate rows must be bit-identical when the soft axis is
+        # sliced down to just 0.0 (same spawn keys, no sibling cells): cell
+        # results depend only on (cell spec, keys), never on grid
+        # composition.  (That rate 0.0 equals the mechanism-absent code
+        # path is pinned separately by the pre-PR golden files, which would
+        # move if the soft-error plumbing consumed any randomness when
+        # disabled.)
+        sliced_spec = get_scenario("soft-vs-hard-faults").with_axis_values(
+            soft_error_rate=(0.0,)
+        )
+        sliced = run_scenario(sliced_spec, micro_scale, 11)
+        zero_rows = [row for row in table.rows if row["soft_error_rate"] == 0.0]
+        assert zero_rows == sliced.rows
+
+    def test_clustered_interleaver_depth_sweeps_columns(self, micro_scale):
+        table = self._run("clustered-interleaver-depth", micro_scale)
+        assert set(table.column("interleaver_columns")) == {6, 30, 90}
+        assert all(0.0 <= row["throughput"] <= 1.0 for row in table.rows)
+
+    def test_soft_error_rate_rejected_on_bler_kind(self):
+        with pytest.raises(ValueError, match="fault-kind"):
+            ScenarioSpec(
+                name="x", title="x", summary="x", kind="bler", soft_error_rate=0.01
+            )
+
+    def test_fading_token_validated_on_spec(self):
+        with pytest.raises(ValueError, match="fading"):
+            ScenarioSpec(name="x", title="x", summary="x", fading="warp:9")
+
+    def test_new_fields_stay_out_of_default_identity(self, micro_scale):
+        fields = resolved_scenario_fields(
+            ScenarioSpec(name="x", title="x", summary="x", snr_db=20.0), micro_scale
+        )
+        assert set(fields) == {"snr_db", "axes"}
+        loaded = resolved_scenario_fields(
+            ScenarioSpec(
+                name="x",
+                title="x",
+                summary="x",
+                snr_db=20.0,
+                fading="jakes:4000",
+                soft_error_rate=0.01,
+                fault_model="clustered:2",
+                interleaver_columns=60,
+            ),
+            micro_scale,
+        )
+        assert {"fading", "soft_error_rate", "fault_model", "interleaver_columns"} <= set(
+            loaded
+        )
+
+    def test_overrides_accept_new_fields(self, micro_scale):
+        spec = get_scenario("fig6").apply_override("fading", "jakes:4000")
+        spec = spec.apply_override("soft_error_rate", 0.001)
+        spec = spec.apply_override("fault_model", "clustered:2")
+        assert spec.fading == "jakes:4000"
+        assert spec.soft_error_rate == 0.001
+        assert spec.fault_model == "clustered:2"
+
+
+# --------------------------------------------------------------------------- #
+class TestScenarioBackendConformance:
+    """Every registered scenario runs end to end on every execution backend.
+
+    Extends the conformance contract of ``tests/test_execution_backends.py``
+    to the full catalog: a grid scenario's serialized output must be
+    byte-identical between serial and process-pool execution (work items are
+    seeded by sweep coordinates, never by topology), and analytical
+    scenarios must at least run.  Uses a sub-micro scale so the whole
+    catalog stays fast.
+    """
+
+    @pytest.fixture(scope="class")
+    def tiny_scale(self):
+        return SCALES["smoke"].with_updates(
+            payload_bits=56,
+            num_packets=4,
+            num_fault_maps=2,
+            turbo_iterations=2,
+            snr_points_db=(20.0,),
+            defect_rates=(0.0, 0.10),
+        )
+
+    @pytest.fixture(scope="class")
+    def process_runner(self):
+        from repro.runner.parallel import ParallelRunner
+
+        with ParallelRunner(2) as runner:
+            yield runner
+
+    @staticmethod
+    def _canonical(result):
+        from repro.runner.cache import serialize_payload
+        from repro.runner.registry import _normalise
+
+        tables, extras = _normalise(result)
+        return serialize_payload("conformance", identity={}, tables=tables, extras=extras)
+
+    @pytest.mark.parametrize("name", sorted(scenario_names()))
+    def test_scenario_is_backend_invariant(self, name, tiny_scale, process_runner):
+        spec = get_scenario(name)
+        if spec.kind == "analytical":
+            # Closed form: no work items to distribute; just run it.
+            run_scenario(spec, tiny_scale, 2012)
+            return
+        serial = self._canonical(run_scenario(spec, tiny_scale, 2012, runner="serial"))
+        pooled = self._canonical(run_scenario(spec, tiny_scale, 2012, runner=process_runner))
+        assert serial == pooled, f"{name}: serial != process-pool bytes"
+
+    def test_new_physics_scenario_survives_the_socket_backend(self, tiny_scale):
+        # One distributed run of a clustered+soft-error scenario: the
+        # FaultModelSpec-carrying tasks must pickle across the wire and
+        # reproduce the serial bytes (serial == socket, like fig6 in CI).
+        from repro.runner.backends import create_execution_backend
+        from repro.runner.parallel import ParallelRunner
+
+        spec = get_scenario("clustered-vs-uniform").with_updates(
+            soft_error_rate=0.001
+        )
+        serial = self._canonical(run_scenario(spec, tiny_scale, 2012, runner="serial"))
+        backend = create_execution_backend("socket", workers=2)
+        with ParallelRunner(2, backend=backend) as runner:
+            distributed = self._canonical(
+                run_scenario(spec, tiny_scale, 2012, runner=runner)
+            )
+        assert serial == distributed
