@@ -73,6 +73,7 @@ def run(
     snr_regimes_db=SNR_REGIMES_DB,
     runner: Union[ParallelRunner, str, None] = None,
     decoder_backend: Optional[str] = None,
+    point_store=None,
 ) -> SweepTable:
     """Run the Fig. 2 experiment and return its data table.
 
@@ -99,7 +100,8 @@ def run(
         snr_db=tuple(float(snr) for snr in snr_regimes_db)
     )
     outcome = run_scenario_grid(
-        spec, scale, seed, runner=runner, decoder_backend=decoder_backend
+        spec, scale, seed, runner=runner, decoder_backend=decoder_backend,
+        point_store=point_store,
     )
     return _present(outcome)
 

@@ -75,6 +75,7 @@ def run(
     runner: Union[ParallelRunner, str, None] = None,
     decoder_backend: Optional[str] = None,
     adaptive=None,
+    point_store=None,
 ) -> SweepTable:
     """Run the Fig. 6 experiment and return its data table.
 
@@ -94,7 +95,8 @@ def run(
         snr_db=None if snr_points_db is None else tuple(float(s) for s in snr_points_db),
     )
     outcome = run_scenario_grid(
-        spec, scale, seed, runner=runner, decoder_backend=decoder_backend, adaptive=adaptive
+        spec, scale, seed, runner=runner, decoder_backend=decoder_backend, adaptive=adaptive,
+        point_store=point_store,
     )
     return _present(outcome)
 

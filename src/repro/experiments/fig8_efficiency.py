@@ -103,6 +103,7 @@ def run(
     runner: Union[ParallelRunner, str, None] = None,
     decoder_backend: Optional[str] = None,
     adaptive=None,
+    point_store=None,
 ) -> dict:
     """Run the Fig. 8 experiment.
 
@@ -121,7 +122,8 @@ def run(
         snr_db=float(snr_db), defect_rate=float(defect_rate)
     ).with_axis_values(protected_bits=tuple(int(c) for c in protected_bit_counts))
     outcome = run_scenario_grid(
-        spec, scale, seed, runner=runner, decoder_backend=decoder_backend, adaptive=adaptive
+        spec, scale, seed, runner=runner, decoder_backend=decoder_backend, adaptive=adaptive,
+        point_store=point_store,
     )
     return _present(outcome)
 

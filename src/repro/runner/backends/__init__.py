@@ -26,7 +26,13 @@ from typing import Callable, Dict, Optional, Tuple, Union
 from repro.runner.backends.base import ExecutionBackend
 from repro.runner.backends.process_pool import ProcessPoolBackend, default_workers
 from repro.runner.backends.serial import SerialBackend
-from repro.runner.backends.socket_backend import SocketDistributedBackend, run_worker
+from repro.runner.backends.socket_backend import (
+    WORKER_EXIT_FAILURE,
+    WORKER_EXIT_LOST_COORDINATOR,
+    WORKER_EXIT_OK,
+    SocketDistributedBackend,
+    run_worker,
+)
 
 #: The backend used when nothing is requested and ``workers <= 1``.
 DEFAULT_BACKEND = "serial"
@@ -109,6 +115,9 @@ __all__ = [
     "ProcessPoolBackend",
     "SerialBackend",
     "SocketDistributedBackend",
+    "WORKER_EXIT_FAILURE",
+    "WORKER_EXIT_LOST_COORDINATOR",
+    "WORKER_EXIT_OK",
     "create_execution_backend",
     "default_workers",
     "execution_backend_names",

@@ -31,15 +31,28 @@ import tempfile
 import threading
 import time
 import traceback
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.runner.backends.base import ExecutionBackend
 from repro.runner.backends.process_pool import default_workers
-from repro.runner.backends.wire import parse_address, recv_message, send_message
+from repro.runner.backends.wire import (
+    format_address,
+    parse_address,
+    recv_message,
+    send_message,
+)
 
 #: How long dispatch/collection loops sleep between poll iterations (s).
 _POLL_INTERVAL = 0.1
+
+#: Worker-daemon exit codes (``python -m repro worker``).  Supervisors key
+#: restart policy off these: a lost coordinator is worth retrying, a daemon
+#: that never connected or hit a fatal protocol error usually is not.
+WORKER_EXIT_OK = 0  # received ("shutdown",): the run finished cleanly
+WORKER_EXIT_FAILURE = 1  # never connected, or a fatal protocol error
+WORKER_EXIT_LOST_COORDINATOR = 2  # connected once, then lost the coordinator
 
 
 class _WorkerConnection:
@@ -55,9 +68,17 @@ class _WorkerConnection:
         self.lock = threading.Lock()
         #: Tasks sent but not yet answered: ``(round, index) -> (item, sent_at)``.
         self.outstanding: Dict[Tuple[int, int], Tuple[Tuple, float]] = {}
-        #: One credit per received reply; the dispatcher waits for a credit
-        #: before sending the next task, so work is pulled, not pushed.
+        #: In-flight capacity: the handshake deposits one credit per slot the
+        #: worker advertised, the dispatcher acquires a credit before every
+        #: send and the read loop releases one per reply — so an 8-slot
+        #: worker holds up to 8 unanswered items while a 1-slot worker holds
+        #: 1, and work stays pulled, never pushed.
         self.credits = threading.Semaphore(0)
+        #: Slot count the worker advertised in its hello (legacy hellos -> 1).
+        self.slots = 1
+        #: Whether this connection came from a daemon this coordinator
+        #: spawned itself (matched by hello pid) — drives liveness policy.
+        self.is_local = False
         #: Monotonic time of the last frame received from this worker
         #: (results, errors and heartbeats all count as liveness).
         self.last_frame = time.monotonic()
@@ -105,6 +126,13 @@ class SocketDistributedBackend(ExecutionBackend):
         value is floored at two of the worker's advertised beat intervals
         (a window shorter than the cadence would retire healthy workers);
         workers that never advertise heartbeats are exempt.
+    worker_slots:
+        ``--slots`` value for locally spawned daemons: how many work items
+        each daemon executes concurrently (and therefore how many credits
+        it holds with the coordinator).  ``1`` keeps the one-at-a-time
+        daemon; ``0`` lets each daemon size itself to its own CPU count.
+        External workers advertise their own slot count in their hello and
+        are unaffected by this option.
     """
 
     name = "socket"
@@ -123,6 +151,7 @@ class SocketDistributedBackend(ExecutionBackend):
         worker_timeout: float = 120.0,
         task_timeout: Optional[float] = None,
         heartbeat_timeout: Optional[float] = None,
+        worker_slots: int = 1,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
@@ -140,8 +169,11 @@ class SocketDistributedBackend(ExecutionBackend):
             raise ValueError(
                 f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
             )
+        if worker_slots < 0:
+            raise ValueError(f"worker_slots must be non-negative, got {worker_slots}")
         self.bind_host, self.bind_port = parse_address(bind)
         self.local_workers = int(local_workers)
+        self.worker_slots = int(worker_slots)
         self.worker_timeout = float(worker_timeout)
         self.task_timeout = None if task_timeout is None else float(task_timeout)
         self.heartbeat_timeout = (
@@ -160,6 +192,10 @@ class SocketDistributedBackend(ExecutionBackend):
         self._last_activity = time.monotonic()
         self._local_procs: List[subprocess.Popen] = []
         self._stderr_dir: Optional[tempfile.TemporaryDirectory] = None
+        #: Set once any non-local worker has connected: from then on,
+        #: local-daemon death alone must not abort a run — the external
+        #: fleet may reconnect within ``worker_timeout``.
+        self._external_seen = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -168,7 +204,7 @@ class SocketDistributedBackend(ExecutionBackend):
         self._ensure_started()
         assert self._listener is not None
         host, port = self._listener.getsockname()[:2]
-        return f"{host}:{port}"
+        return format_address(host, port)
 
     def connected_workers(self) -> int:
         """Number of currently connected worker daemons."""
@@ -240,16 +276,29 @@ class SocketDistributedBackend(ExecutionBackend):
         """Raise when pending work can no longer make progress."""
         if self.connected_workers() > 0:
             return
-        if self._local_procs and all(p.poll() is not None for p in self._local_procs):
+        all_local_dead = self._local_procs and all(
+            p.poll() is not None for p in self._local_procs
+        )
+        # Fail fast on local-daemon death only when local daemons supplied
+        # the whole fleet.  Once an external worker has connected, its
+        # reconnect window is worker_timeout — aborting the run because the
+        # *local* helpers died would strand a healthy external fleet.
+        if all_local_dead and not self._external_seen:
             raise RuntimeError(
                 "all local worker daemons exited while work was pending:\n"
                 + self._local_worker_diagnostics()
             )
         if time.monotonic() - self._last_activity > self.worker_timeout:
-            raise RuntimeError(
+            message = (
                 f"no worker connected to {self.address} for "
                 f"{self.worker_timeout:.0f}s with work pending"
             )
+            if all_local_dead:
+                message += (
+                    "\nlocal worker daemons also exited:\n"
+                    + self._local_worker_diagnostics()
+                )
+            raise RuntimeError(message)
 
     def _local_worker_diagnostics(self) -> str:
         lines = []
@@ -268,7 +317,8 @@ class SocketDistributedBackend(ExecutionBackend):
             raise RuntimeError("backend is closed")
         if self._listener is not None:
             return
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        family = socket.AF_INET6 if ":" in self.bind_host else socket.AF_INET
+        listener = socket.socket(family, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.bind_host, self.bind_port))
         listener.listen(64)
@@ -302,6 +352,8 @@ class SocketDistributedBackend(ExecutionBackend):
                         "40",
                         "--retry-delay",
                         "0.25",
+                        "--slots",
+                        str(self.worker_slots),
                     ],
                     env=env,
                     stdout=log,
@@ -334,16 +386,29 @@ class SocketDistributedBackend(ExecutionBackend):
             conn.sock.close()
             return
         # ("hello", pid) is the legacy form; ("hello", pid, info) advertises
-        # capabilities — currently the heartbeat cadence, which opts the
-        # worker into staleness enforcement.
+        # capabilities — the heartbeat cadence (opting the worker into
+        # staleness enforcement) and its slot count (how many work items it
+        # executes concurrently, i.e. how many credits it holds).
         if len(hello) >= 3 and isinstance(hello[2], dict):
             interval = hello[2].get("heartbeat_interval")
             if interval:
                 conn.heartbeat_interval = float(interval)
+            slots = hello[2].get("slots")
+            if slots:
+                conn.slots = max(1, int(slots))
+        local_pids = {proc.pid for proc in self._local_procs}
+        conn.is_local = len(hello) >= 2 and hello[1] in local_pids
+        if not conn.is_local:
+            self._external_seen = True
         conn.last_frame = time.monotonic()
         with self._connections_lock:
             self._connections.append(conn)
         self._last_activity = time.monotonic()
+        # Fund the credit pool: one credit per advertised slot.  The
+        # dispatcher debits a credit before each send and the read loop
+        # refunds one per reply, capping in-flight items at the slot count.
+        for _ in range(conn.slots):
+            conn.credits.release()
         threading.Thread(
             target=self._read_loop, args=(conn,), daemon=True,
             name=f"repro-reader-{conn.peer}",
@@ -408,18 +473,35 @@ class SocketDistributedBackend(ExecutionBackend):
         return None
 
     def _dispatch_loop(self, conn: _WorkerConnection) -> None:
-        """Feed one worker: send a task, wait for its reply credit, repeat."""
+        """Feed one worker up to its advertised slot count of in-flight items.
+
+        Each iteration debits one credit, takes one task and sends it; the
+        read loop refunds the credit when the reply lands.  A fully loaded
+        worker therefore parks the dispatcher on the credit acquire (with a
+        poll timeout so the hung detectors keep running), while an idle
+        multi-slot worker is fed back-to-back tasks without waiting for
+        replies — that is the capacity weighting.
+        """
         try:
             while not self._closing and conn.alive:
                 if self._connection_hung(conn):
+                    # Preemptive requeue: don't wait for the socket to die —
+                    # retire the worker now so others pick its items up
+                    # (at-least-once redelivery).
                     conn.mark_dead()
+                    break
+                if not conn.credits.acquire(timeout=_POLL_INTERVAL):
+                    continue  # all slots busy; re-check the hung detectors
+                if self._closing or not conn.alive:
                     break
                 try:
                     item = self._task_queue.get(timeout=_POLL_INTERVAL)
                 except queue.Empty:
+                    conn.credits.release()  # nothing to send; refund the slot
                     continue
                 round_id, index, fn, task = item
                 if round_id != self._round:
+                    conn.credits.release()
                     continue  # task from an abandoned round
                 with conn.lock:
                     conn.outstanding[(round_id, index)] = (item, time.monotonic())
@@ -429,20 +511,16 @@ class SocketDistributedBackend(ExecutionBackend):
                 except OSError:
                     conn.mark_dead()
                     break
-                while not conn.credits.acquire(timeout=_POLL_INTERVAL):
-                    if self._closing or not conn.alive:
-                        break
-                    if self._connection_hung(conn):
-                        # Preemptive requeue: don't wait for the socket to
-                        # die — retire the worker now so another one picks
-                        # the task up (at-least-once redelivery).
-                        conn.mark_dead()
-                        break
         finally:
             self._retire(conn)
 
     def _retire(self, conn: _WorkerConnection) -> None:
-        """Requeue a dead worker's unanswered tasks and forget it."""
+        """Requeue a dead worker's whole outstanding set and forget it.
+
+        A multi-slot worker can die holding several unanswered items; every
+        one of them goes back on the queue (at-least-once), not just the
+        most recent send.
+        """
         conn.alive = False
         with conn.lock:
             outstanding = list(conn.outstanding.items())
@@ -527,6 +605,31 @@ def _start_heartbeat(
     return stop
 
 
+def _serve_item(
+    sock: socket.socket,
+    send_lock: threading.Lock,
+    round_id: int,
+    index: int,
+    fn: Callable[[Any], Any],
+    task: Any,
+) -> None:
+    """Execute one work item and stream its reply (slot-pool entry point).
+
+    Send failures are swallowed here: when the connection dies mid-reply the
+    daemon's receive loop sees the same broken socket and runs the normal
+    reconnect path, and the coordinator requeues the item anyway.
+    """
+    try:
+        reply = ("result", round_id, index, fn(task))
+    except Exception:
+        reply = ("error", round_id, index, traceback.format_exc())
+    try:
+        with send_lock:
+            send_message(sock, reply)
+    except OSError:
+        pass
+
+
 def run_worker(
     address: str,
     *,
@@ -534,6 +637,7 @@ def run_worker(
     retry_delay: float = 0.5,
     once: bool = False,
     heartbeat_interval: Optional[float] = DEFAULT_HEARTBEAT_INTERVAL,
+    slots: int = 1,
     log: Callable[[str], None] = lambda line: print(line, file=sys.stderr, flush=True),
 ) -> int:
     """Serve work items from a coordinator until it shuts the run down.
@@ -547,8 +651,22 @@ def run_worker(
     reconnects and keeps serving (unless *once* is set); on a ``shutdown``
     message it exits cleanly.
 
-    Returns a process exit code: ``0`` after a clean shutdown or after
-    serving at least one item, ``1`` if it never managed to connect.
+    *slots* is the daemon's advertised capacity: the coordinator keeps up to
+    that many work items in flight here, and a daemon with ``slots > 1``
+    executes them concurrently on a thread pool.  ``0`` means one slot per
+    CPU of this machine.
+
+    Returns a process exit code — the codes are distinct so supervisors can
+    tell apart outcomes that look identical in the logs:
+
+    * :data:`WORKER_EXIT_OK` (0) — only after a ``("shutdown",)`` frame,
+      i.e. the coordinator declared the run finished;
+    * :data:`WORKER_EXIT_FAILURE` (1) — never managed to connect, or hit a
+      fatal protocol error (a frame this checkout cannot unpickle);
+    * :data:`WORKER_EXIT_LOST_COORDINATOR` (2) — connected at least once
+      but then lost the coordinator for good (reconnect attempts exhausted,
+      or *once* was set).  Items may well have been served first — that
+      still is not a clean shutdown.
     """
     host, port = parse_address(address)
     if connect_retries < 1:
@@ -559,17 +677,22 @@ def run_worker(
         raise ValueError(
             f"heartbeat_interval must be non-negative, got {heartbeat_interval}"
         )
-    served = 0
+    if slots < 0:
+        raise ValueError(f"slots must be non-negative, got {slots}")
+    slots = int(slots) if slots else default_workers()
+    connected = False
     while True:
         sock = _connect_with_retry(host, port, connect_retries, retry_delay, log)
         if sock is None:
             log(f"repro worker: giving up on {address} after {connect_retries} attempts")
-            return 0 if served else 1
-        log(f"repro worker: connected to {address} (pid {os.getpid()})")
+            return WORKER_EXIT_LOST_COORDINATOR if connected else WORKER_EXIT_FAILURE
+        connected = True
+        log(f"repro worker: connected to {address} (pid {os.getpid()}, slots {slots})")
         send_lock = threading.Lock()
         heartbeat_stop: Optional[threading.Event] = None
+        executor: Optional[ThreadPoolExecutor] = None
         try:
-            info = {}
+            info: Dict[str, Any] = {"slots": slots}
             if heartbeat_interval:
                 info["heartbeat_interval"] = float(heartbeat_interval)
             send_message(sock, ("hello", os.getpid(), info))
@@ -577,21 +700,24 @@ def run_worker(
                 heartbeat_stop = _start_heartbeat(
                     sock, send_lock, float(heartbeat_interval)
                 )
+            if slots > 1:
+                executor = ThreadPoolExecutor(
+                    max_workers=slots, thread_name_prefix="repro-worker-slot"
+                )
             while True:
                 message = recv_message(sock)
                 if message[0] == "shutdown":
                     log("repro worker: coordinator finished; exiting")
-                    return 0
+                    return WORKER_EXIT_OK
                 if message[0] != "task":
                     continue
                 _kind, round_id, index, fn, task = message
-                try:
-                    reply = ("result", round_id, index, fn(task))
-                except Exception:
-                    reply = ("error", round_id, index, traceback.format_exc())
-                with send_lock:
-                    send_message(sock, reply)
-                served += 1
+                if executor is not None:
+                    executor.submit(
+                        _serve_item, sock, send_lock, round_id, index, fn, task
+                    )
+                else:
+                    _serve_item(sock, send_lock, round_id, index, fn, task)
         except (ConnectionError, OSError):
             log("repro worker: connection lost")
             try:
@@ -599,7 +725,7 @@ def run_worker(
             except OSError:  # pragma: no cover - best effort
                 pass
             if once:
-                return 0
+                return WORKER_EXIT_LOST_COORDINATOR
             # fall through: reconnect for the coordinator's next round
         except Exception:
             # A frame we cannot even unpickle (version-skewed checkout, a
@@ -612,10 +738,12 @@ def run_worker(
                 sock.close()
             except OSError:  # pragma: no cover - best effort
                 pass
-            return 1
+            return WORKER_EXIT_FAILURE
         finally:
             if heartbeat_stop is not None:
                 heartbeat_stop.set()
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
 
 
 def _connect_with_retry(

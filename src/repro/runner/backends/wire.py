@@ -14,9 +14,12 @@ coordinator -> worker
 worker -> coordinator
 ------------------------  -------------------------------------------------------
 ``("hello", pid[, info])`` sent once per (re)connection; the optional *info*
-                           dict advertises capabilities (currently
-                           ``heartbeat_interval``, which opts the worker into
-                           the coordinator's staleness enforcement)
+                           dict advertises capabilities:
+                           ``heartbeat_interval`` opts the worker into the
+                           coordinator's staleness enforcement, ``slots`` is
+                           how many work items the worker executes
+                           concurrently (its credit count; legacy hellos
+                           default to 1)
 ``("heartbeat",)``         periodic liveness beat from a background thread —
                            keeps flowing while a work item is computing, so a
                            busy worker is distinguishable from a hung one
@@ -79,8 +82,32 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
 
 
 def parse_address(address: str) -> Tuple[str, int]:
-    """Split ``HOST:PORT`` into its parts (the only address syntax we accept)."""
+    """Split ``HOST:PORT`` into its parts (the only address syntax we accept).
+
+    IPv6 literals use the standard bracket syntax — ``"[::1]:8000"`` parses
+    to ``("::1", 8000)`` — because the colons inside the literal would
+    otherwise swallow the port separator.  The brackets are stripped here:
+    :func:`socket.create_connection` and ``bind`` want the bare literal.
+    """
     host, sep, port = address.rpartition(":")
     if not sep or not host:
         raise ValueError(f"expected HOST:PORT, got {address!r}")
-    return host, int(port)
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+        if not host:
+            raise ValueError(f"empty IPv6 literal in {address!r}")
+    elif ":" in host:
+        raise ValueError(
+            f"IPv6 literals must be bracketed ([HOST]:PORT), got {address!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"expected HOST:PORT with a numeric port, got {address!r}") from None
+
+
+def format_address(host: str, port: int) -> str:
+    """The inverse of :func:`parse_address` (brackets IPv6 literals)."""
+    if ":" in host:
+        return f"[{host}]:{port}"
+    return f"{host}:{port}"

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
+import warnings
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
@@ -24,6 +27,31 @@ from repro.core.results import SweepTable, _jsonable
 
 #: Bump when the payload layout changes so stale cache entries miss cleanly.
 CACHE_FORMAT_VERSION = 1
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* so readers never observe a partial file.
+
+    The text lands in a temporary file in the same directory (same
+    filesystem, so the final :func:`os.replace` is an atomic rename).  Two
+    coordinators racing to store the same digest both succeed: last rename
+    wins and, because payloads are canonical JSON of the same identity, both
+    candidates are byte-identical anyway.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def decoder_backend_identity(requested: str) -> Dict[str, str]:
@@ -90,7 +118,24 @@ class ResultCache:
             return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None
+        except json.JSONDecodeError:
+            # A file that exists but is not JSON was damaged after it was
+            # written (stores are atomic, so it cannot be a half-write from
+            # a live writer).  Move it aside rather than silently letting
+            # the next store destroy the evidence.
+            quarantine = path.with_name(path.name + ".corrupt")
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                quarantine = path
+            warnings.warn(
+                f"cache entry {experiment}/{digest} is corrupt JSON; "
+                f"quarantined at {quarantine}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
         if payload.get("cache_format") != CACHE_FORMAT_VERSION:
             return None
@@ -107,9 +152,9 @@ class ResultCache:
     ) -> Path:
         """Write a run's payload and return the file path."""
         path = self.path_for(experiment, digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            serialize_payload(experiment, identity=identity, tables=tables, extras=extras)
+        atomic_write_text(
+            path,
+            serialize_payload(experiment, identity=identity, tables=tables, extras=extras),
         )
         return path
 

@@ -27,6 +27,9 @@ Subcommands
     (Re)generate the golden-seed regression snapshots under ``tests/golden``.
 ``cache``
     Inspect (``ls``) or evict (``clear``) the result cache.
+``serve``
+    Expose a result cache (and optionally a shared point store) as a
+    read-only JSON HTTP API — see :mod:`repro.runner.serve`.
 
 The execution backend is pure topology — serial, process-pool and
 socket-distributed runs of the same plan are byte-identical — so it is
@@ -135,6 +138,14 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "unanswered this long marks its worker hung and is preemptively "
         "requeued to another worker (default: no deadline)",
     )
+    parser.add_argument(
+        "--socket-worker-slots",
+        type=int,
+        default=None,
+        help="socket backend: concurrent work items per auto-spawned local "
+        "daemon (default: 1; 0 = one per CPU of the daemon's machine); "
+        "external daemons advertise their own --slots",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,6 +183,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--out", type=Path, default=None, help="write canonical JSON here")
     run_p.add_argument("--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR))
     run_p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    run_p.add_argument(
+        "--point-store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="shared content-addressed store of individual grid-point results: "
+        "known points are loaded instead of recomputed, fresh ones stored for "
+        "other coordinators; pure topology, never part of the run identity "
+        "(keep the directory separate from --cache-dir)",
+    )
     run_p.add_argument("--force", action="store_true", help="recompute even on a cache hit")
     run_p.add_argument(
         "--decoder-backend",
@@ -247,6 +268,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between liveness heartbeats (default: 2; 0 disables "
         "heartbeating and opts out of coordinator staleness enforcement)",
     )
+    worker_p.add_argument(
+        "--slots",
+        type=int,
+        default=1,
+        help="concurrent work items this daemon advertises and executes "
+        "(default: 1; 0 = one per CPU)",
+    )
 
     cache_p = sub.add_parser("cache", help="inspect or evict the result cache")
     cache_p.add_argument(
@@ -262,6 +290,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict ls/clear to one experiment's entries",
     )
     cache_p.add_argument("--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR))
+
+    serve_p = sub.add_parser(
+        "serve", help="serve cached results as a read-only JSON HTTP API"
+    )
+    serve_p.add_argument(
+        "--cache",
+        type=Path,
+        default=Path(DEFAULT_CACHE_DIR),
+        metavar="DIR",
+        help="result cache directory to expose (default: %(default)s)",
+    )
+    serve_p.add_argument(
+        "--point-store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also expose this shared point store under /points",
+    )
+    serve_p.add_argument(
+        "--bind",
+        default="127.0.0.1:8000",
+        metavar="HOST:PORT",
+        help="listen address (default: %(default)s; port 0 = ephemeral; "
+        "no authentication — bind non-loopback hosts only on trusted networks)",
+    )
 
     return parser
 
@@ -283,10 +336,11 @@ def make_runner(args: argparse.Namespace) -> ParallelRunner:
         args.socket_address != DEFAULT_SOCKET_BIND
         or args.socket_workers is not None
         or args.socket_task_timeout is not None
+        or args.socket_worker_slots is not None
     ):
         raise ValueError(
-            "--socket-address/--socket-workers/--socket-task-timeout require "
-            "--execution-backend socket"
+            "--socket-address/--socket-workers/--socket-task-timeout/"
+            "--socket-worker-slots require --execution-backend socket"
         )
     options = {}
     if name == "socket":
@@ -296,6 +350,8 @@ def make_runner(args: argparse.Namespace) -> ParallelRunner:
         }
         if args.socket_task_timeout is not None:
             options["task_timeout"] = args.socket_task_timeout
+        if args.socket_worker_slots is not None:
+            options["worker_slots"] = args.socket_worker_slots
     backend = create_execution_backend(name, workers=workers, **options)
     if name == "socket" and args.socket_workers == 0:
         # External-worker mode: surface the bound address (the port may be
@@ -389,6 +445,7 @@ def experiment_payload(
     runner: Optional[ParallelRunner] = None,
     cache: Optional[ResultCache] = None,
     force: bool = False,
+    point_store: Any = None,
     **kwargs: Any,
 ) -> str:
     """Run (or fetch) an experiment and return its canonical JSON payload.
@@ -400,6 +457,10 @@ def experiment_payload(
     :func:`repro.runner.registry.run_experiment`: a runner built from
     *workers* (when *runner* is ``None``) is closed before returning, a
     caller-provided runner stays open.
+
+    *point_store* is an explicit parameter — never part of ``**kwargs`` —
+    precisely so it can never leak into :func:`run_identity`: a warm shared
+    store changes how much work is scheduled, not a byte of the payload.
     """
     identity = run_identity(experiment, scale_name, seed, dict(sorted(kwargs.items())))
     digest = config_digest(identity)
@@ -407,6 +468,8 @@ def experiment_payload(
         hit = cache.load(experiment, digest)
         if hit is not None:
             return serialize_from_cache(hit)
+    if point_store is not None:
+        kwargs = dict(kwargs, point_store=point_store)
     outcome = run_experiment(
         experiment, scale_name, seed, runner=runner, workers=workers, **kwargs
     )
@@ -473,6 +536,7 @@ def scenario_payload(
     cache: Optional[ResultCache] = None,
     force: bool = False,
     overrides: Optional[Dict[str, Any]] = None,
+    point_store: Any = None,
     **kwargs: Any,
 ) -> str:
     """Run (or fetch) a scenario and return its canonical JSON payload.
@@ -497,6 +561,7 @@ def scenario_payload(
             runner=runner,
             cache=cache,
             force=force,
+            point_store=point_store,
             **kwargs,
         )
     if spec.kind == "analytical":
@@ -515,7 +580,9 @@ def scenario_payload(
         hit = cache.load(cache_key, digest)
         if hit is not None:
             return serialize_from_cache(hit)
-    result = run_scenario(spec, scale_name, seed, runner=runner, **kwargs)
+    result = run_scenario(
+        spec, scale_name, seed, runner=runner, point_store=point_store, **kwargs
+    )
     tables, extras = _normalise(result)
     payload = serialize_payload(
         cache_key, identity=identity, tables=tables, extras=extras
@@ -554,13 +621,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.overrides:
         raise ValueError("--set applies to `repro run scenario <name>` only")
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    point_store = _make_point_store(args)
     kwargs: Dict[str, Any] = {}
     if args.decoder_backend is not None:
         kwargs["decoder_backend"] = args.decoder_backend
     if args.adaptive:
         kwargs["adaptive"] = True
-    if kwargs and not EXPERIMENTS[args.experiment].stochastic:
-        flags = ", ".join(sorted(kwargs))
+    if (kwargs or point_store is not None) and not EXPERIMENTS[args.experiment].stochastic:
+        flags = ", ".join(
+            sorted(kwargs) + (["point_store"] if point_store is not None else [])
+        )
         raise ValueError(
             f"{args.experiment} is analytical and does not simulate the link; "
             f"{flags} does not apply"
@@ -577,9 +647,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             runner=runner,
             cache=cache,
             force=args.force,
+            point_store=point_store,
             **kwargs,
         )
+    _report_point_store(point_store)
     return _emit_payload(payload, args)
+
+
+def _make_point_store(args: argparse.Namespace):
+    """The shared :class:`PointStore` the ``--point-store`` flag asks for."""
+    if args.point_store is None:
+        return None
+    from repro.runner.point_store import PointStore
+
+    return PointStore(args.point_store)
+
+
+def _report_point_store(point_store) -> None:
+    """Tell the user what the shared store saved (stderr, like a progress line)."""
+    if point_store is not None:
+        print(point_store.summary(), file=sys.stderr)
 
 
 def _run_scenario_cmd(args: argparse.Namespace) -> int:
@@ -590,15 +677,16 @@ def _run_scenario_cmd(args: argparse.Namespace) -> int:
     spec = get_scenario(args.name)
     overrides = parse_overrides(args.overrides)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    point_store = _make_point_store(args)
     kwargs: Dict[str, Any] = {}
     if args.decoder_backend is not None:
         kwargs["decoder_backend"] = args.decoder_backend
     if args.adaptive:
         kwargs["adaptive"] = True
-    if spec.kind == "analytical" and (kwargs or overrides):
+    if spec.kind == "analytical" and (kwargs or overrides or point_store is not None):
         raise ValueError(
             f"scenario {spec.name!r} is analytical and does not simulate the link; "
-            "--set/--decoder-backend/--adaptive do not apply"
+            "--set/--decoder-backend/--adaptive/--point-store do not apply"
         )
     if kwargs.get("adaptive") and spec.kind != "fault":
         raise ValueError("--adaptive applies to fault-map scenarios only")
@@ -611,8 +699,10 @@ def _run_scenario_cmd(args: argparse.Namespace) -> int:
             cache=cache,
             force=args.force,
             overrides=overrides,
+            point_store=point_store,
             **kwargs,
         )
+    _report_point_store(point_store)
     return _emit_payload(payload, args)
 
 
@@ -716,6 +806,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         connect_retries=args.connect_retries,
         retry_delay=args.retry_delay,
         once=args.once,
+        slots=args.slots,
         **kwargs,
     )
 
@@ -743,6 +834,17 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runner.serve import serve_forever_from_cli
+
+    return serve_forever_from_cli(
+        args.cache,
+        point_store_dir=args.point_store,
+        bind=args.bind,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "list": _cmd_list,
@@ -751,6 +853,7 @@ _COMMANDS = {
     "worker": _cmd_worker,
     "golden": _cmd_golden,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 

@@ -1,0 +1,216 @@
+"""Read-only JSON query front end over the result cache and point store.
+
+``repro serve --cache DIR [--point-store DIR] --bind HOST:PORT`` exposes the
+precomputed sweep surfaces — whole cached runs and individual grid points —
+as a tiny stdlib :mod:`http.server` API:
+
+==================================  =======================================
+``GET /``                           API index (route listing + counts)
+``GET /experiments``                experiment -> list of identity digests
+``GET /experiments/<name>``         one experiment's digests
+``GET /experiments/<name>/<digest>``  the cached run payload, verbatim
+``GET /points``                     list of stored point digests
+``GET /points/<digest>``            one stored point payload, verbatim
+==================================  =======================================
+
+The server is **read-only** (everything but GET is 405) and never computes:
+it serves exactly the canonical bytes the coordinators stored, so a payload
+fetched over HTTP is byte-identical to the cache file (and, for default-
+scale figure runs, to the golden snapshot).  Unknown names, malformed
+digests and traversal attempts all produce JSON 404s — path segments are
+validated before they ever reach the filesystem.
+
+Like the wire protocol, this binds loopback by default; serve a routable
+address only where every client is trusted (there is no authentication).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.runner.backends.wire import format_address
+from repro.runner.cache import ResultCache
+from repro.runner.point_store import PointStore
+
+#: Path segments we accept: experiment names (``fig6``, ``scenario-...``)
+#: and hex digests.  Anything else — ``..``, separators, empty — is a 404.
+_SEGMENT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,128}$")
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8")
+
+
+class ReproQueryServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` carrying the cache/store handles."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        *,
+        cache: ResultCache,
+        point_store: Optional[PointStore] = None,
+    ) -> None:
+        self.cache = cache
+        self.point_store = point_store
+        super().__init__(address, _QueryHandler)
+
+    @property
+    def address(self) -> str:
+        """The bound ``HOST:PORT`` (ephemeral port resolved)."""
+        host, port = self.server_address[:2]
+        return format_address(host, port)
+
+
+class _QueryHandler(BaseHTTPRequestHandler):
+    """Routes one request against the server's cache and point store."""
+
+    server: ReproQueryServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        path = self.path.split("?", 1)[0].rstrip("/")
+        segments = [segment for segment in path.split("/") if segment]
+        try:
+            if not segments:
+                return self._respond(200, self._index())
+            if segments[0] == "experiments":
+                return self._experiments(segments[1:])
+            if segments[0] == "points":
+                return self._points(segments[1:])
+        except ValueError:
+            pass  # malformed segment: fall through to the 404
+        self._respond(404, {"error": f"no such resource: {self.path}"})
+
+    def _index(self) -> Dict[str, Any]:
+        store = self.server.point_store
+        return {
+            "service": "repro-query",
+            "routes": [
+                "/experiments",
+                "/experiments/<name>",
+                "/experiments/<name>/<digest>",
+                "/points",
+                "/points/<digest>",
+            ],
+            "experiments": self.server.cache.entries(),
+            "points": 0 if store is None else len(store),
+        }
+
+    def _experiments(self, rest) -> None:
+        cache = self.server.cache
+        if not rest:
+            listing: Dict[str, list] = {}
+            for experiment, digest, _path in cache.iter_entries():
+                listing.setdefault(experiment, []).append(digest)
+            return self._respond(200, listing)
+        for segment in rest:
+            if not _SEGMENT_RE.match(segment):
+                raise ValueError(segment)
+        if len(rest) == 1:
+            digests = [
+                digest
+                for experiment, digest, _path in cache.iter_entries()
+                if experiment == rest[0]
+            ]
+            if not digests:
+                return self._respond(404, {"error": f"no cached runs for {rest[0]!r}"})
+            return self._respond(200, {rest[0]: digests})
+        if len(rest) == 2:
+            payload = cache.load(rest[0], rest[1])
+            if payload is None:
+                return self._respond(
+                    404, {"error": f"no cached run {rest[0]}/{rest[1]}"}
+                )
+            return self._respond(200, payload)
+        raise ValueError("/".join(rest))
+
+    def _points(self, rest) -> None:
+        store = self.server.point_store
+        if store is None:
+            return self._respond(404, {"error": "no point store attached"})
+        if not rest:
+            return self._respond(200, {"points": list(store.iter_digests())})
+        if len(rest) == 1:
+            try:
+                payload = store.load_payload(rest[0])
+            except ValueError:
+                payload = None
+            if payload is None:
+                return self._respond(404, {"error": f"no stored point {rest[0]}"})
+            return self._respond(200, payload)
+        raise ValueError("/".join(rest))
+
+    # ------------------------------------------------------------------ #
+    def _respond(self, status: int, payload: Any) -> None:
+        body = _json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._method_not_allowed()
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._method_not_allowed()
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._method_not_allowed()
+
+    def _method_not_allowed(self) -> None:
+        self._respond(405, {"error": "read-only service: GET only"})
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # quiet by default; `repro serve` prints its own status line
+
+
+def build_server(
+    cache_dir: "Path | str",
+    *,
+    point_store_dir: "Path | str | None" = None,
+    bind: str = "127.0.0.1:8000",
+) -> ReproQueryServer:
+    """Construct (and bind) the query server without starting it.
+
+    Split from :func:`serve_forever_from_cli` so tests can bind an ephemeral
+    port, drive requests and shut the server down deterministically.
+    """
+    from repro.runner.backends.wire import parse_address
+
+    host, port = parse_address(bind)
+    store = None if point_store_dir is None else PointStore(point_store_dir)
+    return ReproQueryServer(
+        (host, port), cache=ResultCache(cache_dir), point_store=store
+    )
+
+
+def serve_forever_from_cli(
+    cache_dir: "Path | str",
+    *,
+    point_store_dir: "Path | str | None" = None,
+    bind: str = "127.0.0.1:8000",
+    log=print,
+) -> int:
+    """The blocking body of ``repro serve`` (returns a process exit code)."""
+    server = build_server(cache_dir, point_store_dir=point_store_dir, bind=bind)
+    log(
+        f"repro serve: cache={cache_dir}"
+        + (f" point-store={point_store_dir}" if point_store_dir else "")
+        + f" listening on http://{server.address}/ (read-only; Ctrl-C stops)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

@@ -20,9 +20,10 @@ grow without limit.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,21 +41,37 @@ from repro.utils.rng import keyed_seed_sequence
 #: thrashes — it only evicts across runs on long-lived workers.
 LINK_CACHE_MAX_ENTRIES = 16
 
-#: Per-process LRU of constructed link simulators, keyed by configuration.
-_LINK_CACHE: "OrderedDict[Tuple[LinkConfig, bool], HspaLikeLink]" = OrderedDict()
+#: Per-*thread* LRUs of constructed link simulators, keyed by configuration.
+#: Thread-local because a simulator is stateful while it runs: a multi-slot
+#: worker daemon executes several work items concurrently on a thread pool,
+#: and two threads sharing one ``HspaLikeLink`` would race on its internal
+#: buffers (corrupting results nondeterministically).  Each slot thread
+#: therefore owns its simulators; single-threaded workers (the process pool,
+#: serial runs, slots=1 daemons) see exactly the one-cache-per-process
+#: behaviour they always had.
+_LINK_CACHES = threading.local()
+
+
+def _link_cache() -> "OrderedDict[Tuple[LinkConfig, bool], HspaLikeLink]":
+    """The calling thread's simulator LRU (created on first use)."""
+    cache = getattr(_LINK_CACHES, "cache", None)
+    if cache is None:
+        cache = _LINK_CACHES.cache = OrderedDict()
+    return cache
 
 
 def _cached_link(config: LinkConfig, use_rake: bool = False) -> HspaLikeLink:
-    """The worker-local simulator for *config* (LRU-memoised per process)."""
+    """The thread-local simulator for *config* (LRU-memoised)."""
+    cache = _link_cache()
     cache_key = (config, use_rake)
-    link = _LINK_CACHE.get(cache_key)
+    link = cache.get(cache_key)
     if link is None:
         link = HspaLikeLink(config, use_rake=use_rake)
-        _LINK_CACHE[cache_key] = link
+        cache[cache_key] = link
     else:
-        _LINK_CACHE.move_to_end(cache_key)
-    while len(_LINK_CACHE) > LINK_CACHE_MAX_ENTRIES:
-        _LINK_CACHE.popitem(last=False)
+        cache.move_to_end(cache_key)
+    while len(cache) > LINK_CACHE_MAX_ENTRIES:
+        cache.popitem(last=False)
     return link
 
 
@@ -447,6 +464,7 @@ def run_fault_map_grid(
     use_rake: bool = False,
     aggregate_packets: int = DEFAULT_AGGREGATE_PACKETS,
     adaptive: Optional[AdaptiveStopping] = None,
+    point_store=None,
 ) -> List[FaultSimulationPoint]:
     """Evaluate a whole sweep grid and return one merged point per entry.
 
@@ -463,24 +481,67 @@ def run_fault_map_grid(
     schedule-dependent number of dies per point and are therefore a
     distinct experiment identity (drivers expose it as a keyword that is
     hashed into the cache key).
+
+    With *point_store* (a :class:`~repro.runner.point_store.PointStore`),
+    every grid point is first looked up by its content digest: known points
+    are loaded instead of scheduled — zero work items — and freshly merged
+    points are stored for the next coordinator sharing the directory.  The
+    store returns exact round-trips, so warm-store results are
+    byte-identical to cold ones; like the execution backend, the store is
+    topology and never part of any run identity.
     """
-    if adaptive is not None:
-        return [
-            _run_adaptive_point(
-                runner,
+    from repro.runner.point_store import fault_point_identity, resolve_point_store
+
+    store = resolve_point_store(point_store)
+    points = list(points)
+    results: List[Optional[FaultSimulationPoint]] = [None] * len(points)
+    pending = list(range(len(points)))
+    identities: Dict[int, Tuple[str, dict]] = {}
+    if store is not None:
+        pending = []
+        for index, point in enumerate(points):
+            identity = fault_point_identity(
                 point,
                 num_packets=num_packets,
                 num_fault_maps=num_fault_maps,
                 entropy=entropy,
                 use_rake=use_rake,
                 adaptive=adaptive,
-                aggregate_packets=aggregate_packets,
             )
-            for point in points
-        ]
+            digest = store.digest(identity)
+            identities[index] = (digest, identity)
+            cached = store.load_fault_point(digest)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+    def finish(index: int, merged: FaultSimulationPoint) -> None:
+        if store is not None:
+            digest, identity = identities[index]
+            store.store_fault_point(digest, merged, identity)
+        results[index] = merged
+
+    if adaptive is not None:
+        for index in pending:
+            finish(
+                index,
+                _run_adaptive_point(
+                    runner,
+                    points[index],
+                    num_packets=num_packets,
+                    num_fault_maps=num_fault_maps,
+                    entropy=entropy,
+                    use_rake=use_rake,
+                    adaptive=adaptive,
+                    aggregate_packets=aggregate_packets,
+                ),
+            )
+        return results
 
     tasks: List[FaultMapTask] = []
-    for point in points:
+    for index in pending:
+        point = points[index]
         tasks.extend(
             fault_map_tasks_for_point(
                 point.config,
@@ -500,14 +561,16 @@ def run_fault_map_grid(
     outcomes: List[FaultMapOutcome] = []
     for group_result in runner.map(simulate_fault_map_batch, task_groups):
         outcomes.extend(group_result)
-    return [
-        merge_fault_outcomes(
-            outcomes[index * num_fault_maps : (index + 1) * num_fault_maps],
-            snr_db=point.snr_db,
-            protection=point.protection,
+    for slot, index in enumerate(pending):
+        finish(
+            index,
+            merge_fault_outcomes(
+                outcomes[slot * num_fault_maps : (slot + 1) * num_fault_maps],
+                snr_db=points[index].snr_db,
+                protection=points[index].protection,
+            ),
         )
-        for index, point in enumerate(points)
-    ]
+    return results
 
 
 def _run_adaptive_point(

@@ -185,6 +185,7 @@ def run_scenario_grid(
     runner: RunnerLike = None,
     decoder_backend: Optional[str] = None,
     adaptive: Any = None,
+    point_store: Any = None,
 ) -> ScenarioOutcome:
     """Execute a scenario grid and return its per-cell outcomes.
 
@@ -193,11 +194,20 @@ def run_scenario_grid(
     items, and the items run through whatever :class:`ParallelRunner` /
     execution backend the caller provides — with results that depend only
     on ``(spec, scale, seed)``, never on the topology.
+
+    *point_store* (a :class:`~repro.runner.point_store.PointStore` or a
+    directory path) short-circuits cells whose merged results are already
+    in the shared store and persists freshly computed ones.  It is pure
+    topology: a warm store changes how much work is scheduled, never a bit
+    of the outcome.
     """
+    from repro.runner.point_store import bler_cell_identity, resolve_point_store
+
     resolved = get_scale(scale)
     entropy = resolve_entropy(seed)
     base_config = resolve_link_config(spec, resolved, decoder_backend)
     cells = expand_grid(spec, resolved)
+    store = resolve_point_store(point_store)
     outcome = ScenarioOutcome(
         spec=spec,
         scale=resolved,
@@ -217,6 +227,7 @@ def run_scenario_grid(
                 entropy=entropy,
                 use_rake=spec.equalizer == "rake",
                 adaptive=resolve_adaptive(adaptive),
+                point_store=store,
             )
         return outcome
 
@@ -224,14 +235,34 @@ def run_scenario_grid(
         if resolve_adaptive(adaptive) is not None:
             raise ValueError("adaptive stopping applies to fault-map scenarios only")
         chunk_sizes = split_packets(resolved.num_packets)
+        use_rake = spec.equalizer == "rake"
+        merged: List[Optional[HarqStatistics]] = [None] * len(cells)
+        pending: List[Tuple[int, Optional[str], Optional[Dict[str, Any]]]] = []
         tasks = []
-        for cell in cells:
+        for cell_index, cell in enumerate(cells):
             config = resolve_link_config(cell.spec, resolved, decoder_backend)
             if cell.spec.snr_db is None:
                 raise ValueError(
                     f"scenario {spec.name!r} needs an SNR: set snr_db or add an "
                     "snr_db axis"
                 )
+            if store is not None:
+                identity = bler_cell_identity(
+                    config,
+                    snr_db=float(cell.spec.snr_db),
+                    chunk_sizes=chunk_sizes,
+                    entropy=entropy,
+                    key=cell.key,
+                    use_rake=use_rake,
+                )
+                digest = store.digest(identity)
+                cached = store.load_statistics(digest)
+                if cached is not None:
+                    merged[cell_index] = cached
+                    continue
+                pending.append((cell_index, digest, identity))
+            else:
+                pending.append((cell_index, None, None))
             tasks.extend(
                 LinkChunkTask(
                     config=config,
@@ -239,7 +270,7 @@ def run_scenario_grid(
                     num_packets=chunk_packets,
                     entropy=entropy,
                     key=cell.key + (chunk_index,),
-                    use_rake=spec.equalizer == "rake",
+                    use_rake=use_rake,
                 )
                 for chunk_index, chunk_packets in enumerate(chunk_sizes)
             )
@@ -251,14 +282,14 @@ def run_scenario_grid(
                 )
                 for statistics in batch
             ]
-        outcome.statistics = [
-            merge_statistics(
-                chunk_statistics[
-                    cell_index * len(chunk_sizes) : (cell_index + 1) * len(chunk_sizes)
-                ]
+        for slot, (cell_index, digest, identity) in enumerate(pending):
+            cell_statistics = merge_statistics(
+                chunk_statistics[slot * len(chunk_sizes) : (slot + 1) * len(chunk_sizes)]
             )
-            for cell_index in range(len(cells))
-        ]
+            if store is not None:
+                store.store_statistics(digest, cell_statistics, identity)
+            merged[cell_index] = cell_statistics
+        outcome.statistics = merged
         return outcome
 
     raise ValueError(f"scenario kind {spec.kind!r} has no grid execution path")
@@ -338,6 +369,7 @@ def run_scenario(
     runner: RunnerLike = None,
     decoder_backend: Optional[str] = None,
     adaptive: Any = None,
+    point_store: Any = None,
 ) -> Any:
     """Run one scenario end to end and return its tables.
 
@@ -347,9 +379,14 @@ def run_scenario(
     :func:`default_tables`.
     """
     if spec.kind == "analytical":
-        if decoder_backend is not None or resolve_adaptive(adaptive) is not None:
+        if (
+            decoder_backend is not None
+            or resolve_adaptive(adaptive) is not None
+            or point_store is not None
+        ):
             raise ValueError(
-                f"scenario {spec.name!r} is analytical; decoder/adaptive flags do not apply"
+                f"scenario {spec.name!r} is analytical; decoder/adaptive/"
+                "point-store flags do not apply"
             )
         return spec.analytic(scale, seed, runner=runner)
     outcome = run_scenario_grid(
@@ -359,6 +396,7 @@ def run_scenario(
         runner=runner,
         decoder_backend=decoder_backend,
         adaptive=adaptive,
+        point_store=point_store,
     )
     presenter = spec.presenter or default_tables
     return presenter(outcome)

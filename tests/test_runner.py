@@ -275,7 +275,7 @@ class TestAdaptiveStopping:
 
 
 class TestLinkCacheLru:
-    """The per-process link memo is a bounded LRU (long-lived workers)."""
+    """The per-thread link memo is a bounded LRU (long-lived workers)."""
 
     @pytest.fixture()
     def patched_tasks(self, monkeypatch):
@@ -288,9 +288,9 @@ class TestLinkCacheLru:
 
         monkeypatch.setattr(tasks, "HspaLikeLink", FakeLink)
         monkeypatch.setattr(tasks, "LINK_CACHE_MAX_ENTRIES", 3)
-        tasks._LINK_CACHE.clear()
+        tasks._link_cache().clear()
         yield tasks
-        tasks._LINK_CACHE.clear()
+        tasks._link_cache().clear()
 
     @staticmethod
     def _configs(count):
@@ -308,7 +308,7 @@ class TestLinkCacheLru:
         config = self._configs(1)[0]
         first = patched_tasks._cached_link(config)
         assert patched_tasks._cached_link(config) is first
-        assert len(patched_tasks._LINK_CACHE) == 1
+        assert len(patched_tasks._link_cache()) == 1
 
     def test_rake_variant_is_a_distinct_entry(self, patched_tasks):
         config = self._configs(1)[0]
@@ -320,12 +320,12 @@ class TestLinkCacheLru:
     def test_capacity_is_bounded_and_lru_evicted(self, patched_tasks):
         configs = self._configs(4)
         links = [patched_tasks._cached_link(config) for config in configs[:3]]
-        assert len(patched_tasks._LINK_CACHE) == 3
+        assert len(patched_tasks._link_cache()) == 3
         # Refresh config 0 so config 1 becomes least-recently used.
         assert patched_tasks._cached_link(configs[0]) is links[0]
         patched_tasks._cached_link(configs[3])
-        assert len(patched_tasks._LINK_CACHE) == 3
-        assert (configs[1], False) not in patched_tasks._LINK_CACHE
+        assert len(patched_tasks._link_cache()) == 3
+        assert (configs[1], False) not in patched_tasks._link_cache()
         # The refreshed entry survived; the evicted one is rebuilt anew.
         assert patched_tasks._cached_link(configs[0]) is links[0]
         assert patched_tasks._cached_link(configs[1]) is not links[1]
@@ -336,6 +336,29 @@ class TestLinkCacheLru:
         # Fig. 9 sweeps one configuration per LLR bit-width; the cap must
         # comfortably exceed any stock sweep so runs never thrash.
         assert LINK_CACHE_MAX_ENTRIES >= 8
+
+    def test_each_thread_owns_its_simulators(self, patched_tasks):
+        """Slot threads must never share a simulator instance.
+
+        A simulator is stateful while it runs; multi-slot worker daemons
+        execute items concurrently on a thread pool, so a process-global
+        memo would hand two threads the same ``HspaLikeLink`` and race.
+        """
+        import threading
+
+        config = self._configs(1)[0]
+        main_link = patched_tasks._cached_link(config)
+        other: list = []
+
+        def build():
+            other.append(patched_tasks._cached_link(config))
+
+        thread = threading.Thread(target=build)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert other and other[0] is not main_link
+        # The main thread's cache is untouched by the other thread's build.
+        assert patched_tasks._cached_link(config) is main_link
 
 
 class TestMergeStatistics:
