@@ -104,6 +104,7 @@ def run(
     decoder_backend: Optional[str] = None,
     adaptive=None,
     point_store=None,
+    journal=None,
 ) -> dict:
     """Run the Fig. 8 experiment.
 
@@ -124,6 +125,7 @@ def run(
     outcome = run_scenario_grid(
         spec, scale, seed, runner=runner, decoder_backend=decoder_backend, adaptive=adaptive,
         point_store=point_store,
+        journal=journal,
     )
     return _present(outcome)
 

@@ -23,7 +23,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple, Union
 
-from repro.runner.backends.base import ExecutionBackend
+from repro.runner.backends.base import (
+    TASK_ERROR_POLICIES,
+    ExecutionBackend,
+    TaskQuarantined,
+    validate_task_error_policy,
+)
 from repro.runner.backends.process_pool import ProcessPoolBackend, default_workers
 from repro.runner.backends.serial import SerialBackend
 from repro.runner.backends.socket_backend import (
@@ -41,13 +46,15 @@ DEFAULT_PARALLEL_BACKEND = "process"
 
 
 def _make_serial(workers: int, mp_context: Optional[str], **options: object) -> ExecutionBackend:
+    on_task_error = str(options.pop("on_task_error", "fail"))
     _reject_options("serial", options)
-    return SerialBackend()
+    return SerialBackend(on_task_error=on_task_error)
 
 
 def _make_process(workers: int, mp_context: Optional[str], **options: object) -> ExecutionBackend:
+    on_task_error = str(options.pop("on_task_error", "fail"))
     _reject_options("process", options)
-    return ProcessPoolBackend(workers, mp_context=mp_context)
+    return ProcessPoolBackend(workers, mp_context=mp_context, on_task_error=on_task_error)
 
 
 def _make_socket(workers: int, mp_context: Optional[str], **options: object) -> ExecutionBackend:
@@ -115,6 +122,8 @@ __all__ = [
     "ProcessPoolBackend",
     "SerialBackend",
     "SocketDistributedBackend",
+    "TASK_ERROR_POLICIES",
+    "TaskQuarantined",
     "WORKER_EXIT_FAILURE",
     "WORKER_EXIT_LOST_COORDINATOR",
     "WORKER_EXIT_OK",
@@ -123,4 +132,5 @@ __all__ = [
     "execution_backend_names",
     "register_execution_backend",
     "run_worker",
+    "validate_task_error_policy",
 ]

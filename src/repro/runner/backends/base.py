@@ -18,7 +18,47 @@ the golden files (see :func:`repro.runner.cli.run_identity`).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence, Tuple
+
+#: Valid ``on_task_error`` policies, shared by every backend family.
+TASK_ERROR_POLICIES = ("fail", "quarantine")
+
+
+def validate_task_error_policy(policy: str) -> str:
+    """Normalise/validate an ``on_task_error`` policy token."""
+    token = str(policy).strip().lower()
+    if token not in TASK_ERROR_POLICIES:
+        raise ValueError(
+            f"on_task_error must be one of {TASK_ERROR_POLICIES}, got {policy!r}"
+        )
+    return token
+
+
+@dataclass(frozen=True)
+class TaskQuarantined:
+    """Sentinel result for a work item whose *task code* raised.
+
+    Under ``on_task_error="quarantine"`` a backend yields this in place of
+    the item's result once the retry budget is exhausted, instead of
+    aborting the round: the stream completes, and the caller decides what a
+    missing item means for the sweep.  Worker *death* is not represented
+    here — dead-worker items are requeued indefinitely (at-least-once
+    delivery), because losing an executor says nothing about the task.
+    """
+
+    index: int
+    error: str
+    attempts: int = 1
+    workers: Tuple[str, ...] = ()
+
+    def summary(self) -> str:
+        first_line = self.error.strip().splitlines()[-1] if self.error.strip() else "?"
+        where = f" on {len(self.workers)} worker(s)" if self.workers else ""
+        return (
+            f"work item {self.index} quarantined after "
+            f"{self.attempts} attempt(s){where}: {first_line}"
+        )
 
 
 class ExecutionBackend(ABC):
@@ -35,6 +75,12 @@ class ExecutionBackend(ABC):
     #: Registry token of the backend family (``"serial"``, ``"process"``, ...).
     name: str = "?"
 
+    #: What a task-raised exception does to the round: ``"fail"`` aborts the
+    #: stream with the remote traceback (the historical behaviour),
+    #: ``"quarantine"`` yields a :class:`TaskQuarantined` sentinel for that
+    #: index and lets the rest of the round complete.
+    on_task_error: str = "fail"
+
     @abstractmethod
     def submit(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any]
@@ -45,7 +91,11 @@ class ExecutionBackend(ABC):
         ``range(len(tasks))`` is yielded **exactly once** — backends that
         retry lost work (at-least-once delivery) must de-duplicate before
         yielding.  A task that raises propagates the exception to the
-        consumer; remaining results of the round may be discarded.
+        consumer under the default ``on_task_error="fail"`` policy and the
+        remaining results of the round may be discarded; under
+        ``"quarantine"`` the backend yields a :class:`TaskQuarantined`
+        sentinel for that index once the retry budget is exhausted and the
+        round completes.
         ``fn`` and every task must be picklable for any backend that leaves
         the calling process.
 

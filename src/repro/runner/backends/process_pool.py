@@ -11,10 +11,20 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
 
-from repro.runner.backends.base import ExecutionBackend
+from repro.runner.backends.base import (
+    ExecutionBackend,
+    TaskQuarantined,
+    validate_task_error_policy,
+)
 
 
 def default_workers() -> int:
@@ -34,11 +44,22 @@ class ProcessPoolBackend(ExecutionBackend):
         ``"forkserver"``).  Defaults to ``"fork"`` where available (cheap on
         Linux: workers inherit the imported simulator modules) and the
         platform default elsewhere.
+    on_task_error:
+        ``"fail"`` (default) re-raises a task exception; ``"quarantine"``
+        yields a :class:`TaskQuarantined` sentinel for the failing index so
+        the rest of the round still completes.  Pool processes all run the
+        same interpreter image, so a deterministic raise is not retried.
     """
 
     name = "process"
 
-    def __init__(self, workers: int = 0, *, mp_context: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        mp_context: Optional[str] = None,
+        on_task_error: str = "fail",
+    ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
         self.workers = workers if workers > 0 else default_workers()
@@ -46,6 +67,15 @@ class ProcessPoolBackend(ExecutionBackend):
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else None
         self.mp_context = mp_context
+        self.on_task_error = validate_task_error_policy(on_task_error)
+
+    def _quarantined(self, index: int, exc: BaseException) -> TaskQuarantined:
+        formatted = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return TaskQuarantined(
+            index=index, error=formatted, attempts=1, workers=("process-pool",)
+        )
 
     def submit(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any]
@@ -53,7 +83,14 @@ class ProcessPoolBackend(ExecutionBackend):
         if len(tasks) == 1 or self.workers == 1:
             # Not worth a pool round-trip; results are identical either way.
             for index, task in enumerate(tasks):
-                yield index, fn(task)
+                if self.on_task_error == "fail":
+                    yield index, fn(task)
+                    continue
+                try:
+                    result = fn(task)
+                except Exception as exc:
+                    result = self._quarantined(index, exc)
+                yield index, result
             return
         context = (
             multiprocessing.get_context(self.mp_context) if self.mp_context else None
@@ -65,7 +102,20 @@ class ProcessPoolBackend(ExecutionBackend):
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    yield index_of[future], future.result()
+                    index = index_of[future]
+                    if self.on_task_error == "fail":
+                        yield index, future.result()
+                        continue
+                    try:
+                        result = future.result()
+                    except BrokenExecutor:
+                        # A *dead pool process* is executor failure, not task
+                        # poison — quarantining here would blame the task
+                        # for the substrate.  Let it propagate.
+                        raise
+                    except Exception as exc:
+                        result = self._quarantined(index, exc)
+                    yield index, result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

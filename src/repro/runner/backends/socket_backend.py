@@ -24,6 +24,9 @@ from __future__ import annotations
 
 import os
 import queue
+import random
+import select
+import signal
 import socket
 import subprocess
 import sys
@@ -33,9 +36,14 @@ import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.runner.backends.base import ExecutionBackend
+from repro.runner import chaos
+from repro.runner.backends.base import (
+    ExecutionBackend,
+    TaskQuarantined,
+    validate_task_error_policy,
+)
 from repro.runner.backends.process_pool import default_workers
 from repro.runner.backends.wire import (
     format_address,
@@ -46,6 +54,14 @@ from repro.runner.backends.wire import (
 
 #: How long dispatch/collection loops sleep between poll iterations (s).
 _POLL_INTERVAL = 0.1
+
+#: How often a draining-capable worker wakes from its socket wait to check
+#: whether a SIGTERM drain was requested (s).
+_DRAIN_POLL = 0.2
+
+#: Ceiling on one reconnect backoff sleep (s): ``retry_delay`` doubles per
+#: attempt up to this cap, then a deterministic 0.5x-1.5x jitter is applied.
+RECONNECT_BACKOFF_CAP = 5.0
 
 #: Worker-daemon exit codes (``python -m repro worker``).  Supervisors key
 #: restart policy off these: a lost coordinator is worth retrying, a daemon
@@ -133,6 +149,18 @@ class SocketDistributedBackend(ExecutionBackend):
         daemon; ``0`` lets each daemon size itself to its own CPU count.
         External workers advertise their own slot count in their hello and
         are unaffected by this option.
+    on_task_error:
+        Policy for a work item whose *task code* raised on a worker (as
+        opposed to the worker dying, which requeues indefinitely):
+        ``"fail"`` (default) aborts the round with the remote traceback
+        once the retry budget is spent; ``"quarantine"`` yields a
+        :class:`TaskQuarantined` sentinel for that index and lets the rest
+        of the round complete.
+    task_attempts:
+        Retry budget for task-raised errors: the item is redispatched —
+        preferring workers that have not failed it yet — until this many
+        attempts have raised, then the ``on_task_error`` policy applies.
+        ``1`` (default) applies the policy on the first raise.
     """
 
     name = "socket"
@@ -152,6 +180,8 @@ class SocketDistributedBackend(ExecutionBackend):
         task_timeout: Optional[float] = None,
         heartbeat_timeout: Optional[float] = None,
         worker_slots: int = 1,
+        on_task_error: str = "fail",
+        task_attempts: int = 1,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
@@ -171,6 +201,10 @@ class SocketDistributedBackend(ExecutionBackend):
             )
         if worker_slots < 0:
             raise ValueError(f"worker_slots must be non-negative, got {worker_slots}")
+        if task_attempts < 1:
+            raise ValueError(f"task_attempts must be positive, got {task_attempts}")
+        self.on_task_error = validate_task_error_policy(on_task_error)
+        self.task_attempts = int(task_attempts)
         self.bind_host, self.bind_port = parse_address(bind)
         self.local_workers = int(local_workers)
         self.worker_slots = int(worker_slots)
@@ -189,6 +223,14 @@ class SocketDistributedBackend(ExecutionBackend):
         self._round = 0
         self._collecting = False
         self._closing = False
+        #: Per-item task-error bookkeeping for the round being collected:
+        #: ``(round, index) -> {"attempts": int, "peers": [str, ...]}``.
+        #: Owned by the collector thread; cleared when the round ends.
+        self._task_error_state: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        #: ``(round, index) -> peers that already failed it`` — read by the
+        #: dispatcher threads to steer a retried item toward a worker that
+        #: has not raised on it yet (the "K *distinct* workers" budget).
+        self._failed_peers: Dict[Tuple[int, int], "frozenset[str]"] = {}
         self._last_activity = time.monotonic()
         self._local_procs: List[subprocess.Popen] = []
         self._stderr_dir: Optional[tempfile.TemporaryDirectory] = None
@@ -259,8 +301,34 @@ class SocketDistributedBackend(ExecutionBackend):
                 if reply_round != round_id or index in done:
                     continue  # stale round or duplicate delivery (at-least-once)
                 if kind == "error":
+                    # The *task code* raised over there — a different animal
+                    # from the worker dying (which requeues silently and
+                    # indefinitely).  Spend the retry budget on other
+                    # workers first; then apply the on_task_error policy.
+                    tb, item, peer = value
+                    key = (round_id, index)
+                    state = self._task_error_state.setdefault(
+                        key, {"attempts": 0, "peers": []}
+                    )
+                    state["attempts"] += 1
+                    if peer and peer not in state["peers"]:
+                        state["peers"].append(peer)
+                    if item is not None and state["attempts"] < self.task_attempts:
+                        self._failed_peers[key] = frozenset(state["peers"])
+                        self._task_queue.put(item)
+                        continue
+                    if self.on_task_error == "quarantine":
+                        done.add(index)
+                        yield index, TaskQuarantined(
+                            index=index,
+                            error=tb,
+                            attempts=state["attempts"],
+                            workers=tuple(state["peers"]),
+                        )
+                        continue
                     raise RuntimeError(
-                        f"work item {index} failed on a remote worker:\n{value}"
+                        f"work item {index} failed on a remote worker "
+                        f"(attempt {state['attempts']} of {self.task_attempts}):\n{tb}"
                     )
                 done.add(index)
                 yield index, value
@@ -271,6 +339,8 @@ class SocketDistributedBackend(ExecutionBackend):
             # workers on items nobody will read.
             self._round += 1
             self._collecting = False
+            self._task_error_state.clear()
+            self._failed_peers.clear()
 
     def _check_liveness(self) -> None:
         """Raise when pending work can no longer make progress."""
@@ -424,9 +494,23 @@ class SocketDistributedBackend(ExecutionBackend):
                 if message[0] in ("result", "error"):
                     _kind, round_id, index, value = message
                     with conn.lock:
-                        conn.outstanding.pop((round_id, index), None)
+                        entry = conn.outstanding.pop((round_id, index), None)
+                    if message[0] == "error":
+                        # Ship the original work item and the failing peer
+                        # along so the collector can redispatch it within
+                        # the retry budget (the entry is None only for a
+                        # reply to a task this coordinator never sent).
+                        item = entry[0] if entry is not None else None
+                        value = (value, item, conn.peer)
                     self._results.put((message[0], round_id, index, value))
                     conn.credits.release()
+                elif message[0] == "goodbye":
+                    # The worker drained (SIGTERM): it finished and answered
+                    # everything it had in flight, so this is a clean
+                    # retirement, not a failure — no outstanding items to
+                    # requeue, no diagnostics to keep.
+                    conn.mark_dead()
+                    return
                 # anything else (heartbeat, stray hello, unknown type) only
                 # refreshes the liveness timestamp above
         except Exception:
@@ -503,6 +587,22 @@ class SocketDistributedBackend(ExecutionBackend):
                 if round_id != self._round:
                     conn.credits.release()
                     continue  # task from an abandoned round
+                failed = self._failed_peers.get((round_id, index))
+                if failed and conn.peer in failed:
+                    # This worker already raised on this item; hand it to a
+                    # worker that has not, as long as one is alive (if the
+                    # whole fleet has failed it, retry here anyway rather
+                    # than starve the item).
+                    with self._connections_lock:
+                        alternative = any(
+                            c.alive and c.peer not in failed
+                            for c in self._connections
+                        )
+                    if alternative:
+                        self._task_queue.put(item)
+                        conn.credits.release()
+                        time.sleep(_POLL_INTERVAL / 2)  # let the other grab it
+                        continue
                 with conn.lock:
                     conn.outstanding[(round_id, index)] = (item, time.monotonic())
                 try:
@@ -581,9 +681,55 @@ class SocketDistributedBackend(ExecutionBackend):
 DEFAULT_HEARTBEAT_INTERVAL = 2.0
 
 
-def _start_heartbeat(
-    sock: socket.socket, send_lock: threading.Lock, interval: float
-) -> threading.Event:
+class _FrameSender:
+    """The one sanctioned way to write frames from a worker daemon.
+
+    Every worker-side send — hello, heartbeat, result, error, goodbye —
+    goes through :meth:`send`, which holds the per-socket lock for the
+    whole frame write.  The lock exists because the heartbeat thread and
+    the slot-pool result threads share one TCP stream: two interleaved
+    ``sendall`` calls would splice their frames together, and the
+    coordinator's read loop would see a corrupt frame, kill the connection
+    and silently requeue everything in flight.  Funnelling all sends
+    through this class makes "forgot the lock" unrepresentable.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._lock = threading.Lock()
+
+    def send(self, message: Tuple[Any, ...]) -> None:
+        with self._lock:
+            send_message(self._sock, message)
+
+
+class _InFlight:
+    """Counter of work items currently executing on this worker.
+
+    A draining worker (SIGTERM) uses :meth:`wait_idle` to finish what it
+    already accepted before saying goodbye; with ``slots > 1`` several
+    items can be in flight at once, so a bare flag would not do.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._cond = threading.Condition()
+
+    def enter(self) -> None:
+        with self._cond:
+            self._count += 1
+
+    def exit(self) -> None:
+        with self._cond:
+            self._count -= 1
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        with self._cond:
+            return self._cond.wait_for(lambda: self._count == 0, timeout)
+
+
+def _start_heartbeat(sender: _FrameSender, interval: float) -> threading.Event:
     """Send ``("heartbeat",)`` frames every *interval* seconds until stopped.
 
     The beats run on a background thread so they keep flowing while the
@@ -596,8 +742,7 @@ def _start_heartbeat(
     def beat() -> None:
         while not stop.wait(interval):
             try:
-                with send_lock:
-                    send_message(sock, ("heartbeat",))
+                sender.send(("heartbeat",))
             except OSError:
                 return  # connection is gone; the main loop handles it
 
@@ -606,28 +751,34 @@ def _start_heartbeat(
 
 
 def _serve_item(
-    sock: socket.socket,
-    send_lock: threading.Lock,
+    sender: _FrameSender,
     round_id: int,
     index: int,
     fn: Callable[[Any], Any],
     task: Any,
+    in_flight: Optional[_InFlight] = None,
 ) -> None:
     """Execute one work item and stream its reply (slot-pool entry point).
 
     Send failures are swallowed here: when the connection dies mid-reply the
     daemon's receive loop sees the same broken socket and runs the normal
-    reconnect path, and the coordinator requeues the item anyway.
+    reconnect path, and the coordinator requeues the item anyway.  The
+    caller :meth:`_InFlight.enter`\\ s *before* handing the item over (so a
+    drain request can never slip between accept and execute); this function
+    owns the matching exit.
     """
     try:
-        reply = ("result", round_id, index, fn(task))
-    except Exception:
-        reply = ("error", round_id, index, traceback.format_exc())
-    try:
-        with send_lock:
-            send_message(sock, reply)
-    except OSError:
-        pass
+        try:
+            reply = ("result", round_id, index, fn(task))
+        except Exception:
+            reply = ("error", round_id, index, traceback.format_exc())
+        try:
+            sender.send(reply)
+        except OSError:
+            pass
+    finally:
+        if in_flight is not None:
+            in_flight.exit()
 
 
 def run_worker(
@@ -638,6 +789,7 @@ def run_worker(
     once: bool = False,
     heartbeat_interval: Optional[float] = DEFAULT_HEARTBEAT_INTERVAL,
     slots: int = 1,
+    drain: Optional[threading.Event] = None,
     log: Callable[[str], None] = lambda line: print(line, file=sys.stderr, flush=True),
 ) -> int:
     """Serve work items from a coordinator until it shuts the run down.
@@ -655,6 +807,14 @@ def run_worker(
     that many work items in flight here, and a daemon with ``slots > 1``
     executes them concurrently on a thread pool.  ``0`` means one slot per
     CPU of this machine.
+
+    **Graceful drain**: setting the *drain* event (or sending the daemon
+    SIGTERM — a handler is installed when running on the main thread and no
+    event was supplied) makes the worker stop accepting new work, finish
+    every item already in flight, send a ``("goodbye", pid)`` frame so the
+    coordinator retires the connection cleanly, and exit
+    :data:`WORKER_EXIT_OK`.  That is the supervisor-friendly way to shrink
+    a fleet mid-sweep: no requeue storm, no staleness timeout.
 
     Returns a process exit code — the codes are distinct so supervisors can
     tell apart outcomes that look identical in the logs:
@@ -680,6 +840,13 @@ def run_worker(
     if slots < 0:
         raise ValueError(f"slots must be non-negative, got {slots}")
     slots = int(slots) if slots else default_workers()
+    if drain is None:
+        drain = threading.Event()
+        if threading.current_thread() is threading.main_thread():
+            try:
+                signal.signal(signal.SIGTERM, lambda *_args: drain.set())
+            except (ValueError, OSError):  # pragma: no cover - exotic platforms
+                pass
     connected = False
     while True:
         sock = _connect_with_retry(host, port, connect_retries, retry_delay, log)
@@ -688,36 +855,66 @@ def run_worker(
             return WORKER_EXIT_LOST_COORDINATOR if connected else WORKER_EXIT_FAILURE
         connected = True
         log(f"repro worker: connected to {address} (pid {os.getpid()}, slots {slots})")
-        send_lock = threading.Lock()
+        sender = _FrameSender(sock)
+        # Fresh per connection: futures cancelled on a connection loss would
+        # otherwise leak entered-but-never-exited counts into the next
+        # connection's drain accounting.
+        in_flight = _InFlight()
         heartbeat_stop: Optional[threading.Event] = None
         executor: Optional[ThreadPoolExecutor] = None
         try:
             info: Dict[str, Any] = {"slots": slots}
             if heartbeat_interval:
                 info["heartbeat_interval"] = float(heartbeat_interval)
-            send_message(sock, ("hello", os.getpid(), info))
+            sender.send(("hello", os.getpid(), info))
             if heartbeat_interval:
-                heartbeat_stop = _start_heartbeat(
-                    sock, send_lock, float(heartbeat_interval)
-                )
+                heartbeat_stop = _start_heartbeat(sender, float(heartbeat_interval))
             if slots > 1:
                 executor = ThreadPoolExecutor(
                     max_workers=slots, thread_name_prefix="repro-worker-slot"
                 )
             while True:
+                if drain.is_set():
+                    # Finish what we already accepted, say goodbye, leave.
+                    in_flight.wait_idle()
+                    try:
+                        sender.send(("goodbye", os.getpid()))
+                    except OSError:
+                        pass
+                    log("repro worker: drained in-flight work; exiting")
+                    return WORKER_EXIT_OK
+                # Wait for readability with a timeout instead of blocking in
+                # recv: a drain request must be noticed between frames, and
+                # interrupting _recv_exact mid-frame would desync the stream.
+                try:
+                    readable = select.select([sock], [], [], _DRAIN_POLL)[0]
+                except (OSError, ValueError):
+                    # ValueError: the socket was closed under us (fd == -1),
+                    # e.g. by the reset simulation of a chaos fault.
+                    raise ConnectionError("worker socket closed while waiting")
+                if not readable:
+                    continue
                 message = recv_message(sock)
                 if message[0] == "shutdown":
                     log("repro worker: coordinator finished; exiting")
                     return WORKER_EXIT_OK
                 if message[0] != "task":
                     continue
+                plan = chaos.active_plan()
+                if plan is not None and plan.take_kill_task():
+                    # Simulate the daemon being SIGKILLed mid-task: the
+                    # connection dies with the item unanswered, and (like a
+                    # supervisor restart) the normal reconnect path below
+                    # brings the worker back.
+                    raise chaos.ChaosInjected("chaos: worker killed mid-task")
                 _kind, round_id, index, fn, task = message
+                in_flight.enter()
                 if executor is not None:
                     executor.submit(
-                        _serve_item, sock, send_lock, round_id, index, fn, task
+                        _serve_item, sender, round_id, index, fn, task, in_flight
                     )
                 else:
-                    _serve_item(sock, send_lock, round_id, index, fn, task)
+                    _serve_item(sender, round_id, index, fn, task, in_flight)
         except (ConnectionError, OSError):
             log("repro worker: connection lost")
             try:
@@ -753,6 +950,15 @@ def _connect_with_retry(
     delay: float,
     log: Callable[[str], None],
 ) -> Optional[socket.socket]:
+    """Connect with exponential backoff and deterministic jitter.
+
+    *delay* is the base: attempt *i* sleeps ``min(delay * 2**i,
+    RECONNECT_BACKOFF_CAP)`` scaled by a 0.5x–1.5x jitter factor drawn from
+    a PRNG seeded with the target address and this process id — different
+    workers desynchronise (no reconnect stampede after a coordinator
+    restart), while any single worker's schedule is reproducible.
+    """
+    jitter = random.Random(f"{host}:{port}:{os.getpid()}")
     for attempt in range(retries):
         try:
             sock = socket.create_connection((host, port), timeout=10.0)
@@ -761,5 +967,6 @@ def _connect_with_retry(
             return sock
         except OSError:
             if attempt + 1 < retries:
-                time.sleep(delay)
+                backoff = min(delay * (2.0 ** attempt), RECONNECT_BACKOFF_CAP)
+                time.sleep(backoff * (0.5 + jitter.random()))
     return None

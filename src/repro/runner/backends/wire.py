@@ -41,6 +41,8 @@ import socket
 import struct
 from typing import Any, Tuple
 
+from repro.runner import chaos
+
 #: Frame header: payload length as an unsigned 64-bit big-endian integer.
 _HEADER = struct.Struct(">Q")
 
@@ -50,9 +52,18 @@ MAX_FRAME_BYTES = 1 << 30
 
 
 def send_message(sock: socket.socket, message: Tuple[Any, ...]) -> None:
-    """Pickle *message* and write it as one length-prefixed frame."""
+    """Pickle *message* and write it as one length-prefixed frame.
+
+    When a chaos :class:`~repro.runner.chaos.FaultPlan` is active, the frame
+    may be deterministically delayed, truncated (torn frame + EOF for the
+    peer), or replaced by a dropped connection — see :mod:`repro.runner.chaos`.
+    """
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
+    frame = _HEADER.pack(len(payload)) + payload
+    plan = chaos.active_plan()
+    if plan is not None:
+        frame = plan.filter_send(sock, message, frame)
+    sock.sendall(frame)
 
 
 def recv_message(sock: socket.socket) -> Tuple[Any, ...]:
@@ -60,12 +71,18 @@ def recv_message(sock: socket.socket) -> Tuple[Any, ...]:
 
     Raises :class:`ConnectionError` on a cleanly closed peer (EOF) and
     :class:`ValueError` on a frame that exceeds :data:`MAX_FRAME_BYTES`.
+    An active chaos plan may drop the connection after a received data
+    frame instead of delivering it.
     """
     header = _recv_exact(sock, _HEADER.size)
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ValueError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
-    return pickle.loads(_recv_exact(sock, length))
+    message = pickle.loads(_recv_exact(sock, length))
+    plan = chaos.active_plan()
+    if plan is not None:
+        plan.filter_recv(sock, message)
+    return message
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.core.results import SweepTable, _jsonable
+from repro.runner import chaos
 
 #: Bump when the payload layout changes so stale cache entries miss cleanly.
 CACHE_FORMAT_VERSION = 1
@@ -37,8 +38,17 @@ def atomic_write_text(path: Path, text: str) -> None:
     coordinators racing to store the same digest both succeed: last rename
     wins and, because payloads are canonical JSON of the same identity, both
     candidates are byte-identical anyway.
+
+    An active chaos plan's ``tear-write`` directive replaces one write with
+    the thing this function exists to prevent — a truncated file at the
+    final path — so the corrupt-entry quarantine paths get exercised for
+    real (a crash between a non-atomic open and its final flush).
     """
     path.parent.mkdir(parents=True, exist_ok=True)
+    plan = chaos.active_plan()
+    if plan is not None and plan.take_tear_write():
+        path.write_text(text[: max(1, len(text) // 2)])
+        return
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -113,13 +123,32 @@ class ResultCache:
 
     def load(self, experiment: str, digest: str) -> Optional[Dict[str, Any]]:
         """Return the cached payload for a run identity, or ``None`` on miss."""
+        return self.load_with_status(experiment, digest)[0]
+
+    def load_with_status(
+        self, experiment: str, digest: str
+    ) -> Tuple[Optional[Dict[str, Any]], str]:
+        """Like :meth:`load`, but also say *why* a lookup missed.
+
+        Returns ``(payload, status)`` where status is one of ``"ok"``,
+        ``"missing"``, ``"corrupt"`` (the entry was torn on disk and has
+        just been quarantined — or a ``.corrupt`` sibling from an earlier
+        quarantine exists), ``"stale-format"`` or ``"unreadable"``.  The
+        query server uses the status to answer 404 vs 410 with a reason
+        instead of a bare failure.
+        """
         path = self.path_for(experiment, digest)
         if not path.exists():
-            return None
+            status = (
+                "corrupt"
+                if path.with_name(path.name + ".corrupt").exists()
+                else "missing"
+            )
+            return None, status
         try:
             payload = json.loads(path.read_text())
         except OSError:
-            return None
+            return None, "unreadable"
         except json.JSONDecodeError:
             # A file that exists but is not JSON was damaged after it was
             # written (stores are atomic, so it cannot be a half-write from
@@ -136,10 +165,10 @@ class ResultCache:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return None
+            return None, "corrupt"
         if payload.get("cache_format") != CACHE_FORMAT_VERSION:
-            return None
-        return payload
+            return None, "stale-format"
+        return payload, "ok"
 
     def store(
         self,
@@ -194,6 +223,52 @@ class ResultCache:
             if not any(parent.iterdir()):
                 parent.rmdir()
         return removed
+
+
+class QuarantineStore:
+    """On-disk records of work items quarantined under ``--on-task-error=quarantine``.
+
+    One JSON file per poisoned work item, ``<root>/<digest>.json``, where the
+    digest hashes the task identity (callable name + canonicalized work
+    item).  Retrying the same sweep therefore overwrites the same record
+    instead of accumulating duplicates, and the file name is stable enough
+    to reference from a bug report.
+    """
+
+    def __init__(self, root: "Path | str") -> None:
+        self.root = Path(root)
+
+    def path_for(self, fn_name: str, task: Any) -> Path:
+        digest = config_digest({"fn": fn_name, "task": canonicalize(task)})
+        return self.root / f"{digest}.json"
+
+    def record(
+        self,
+        fn_name: str,
+        task: Any,
+        *,
+        error: str,
+        attempts: int,
+        workers: Tuple[str, ...] = (),
+    ) -> Path:
+        """Persist one quarantined item (traceback + task identity)."""
+        path = self.path_for(fn_name, task)
+        payload = {
+            "quarantine_format": 1,
+            "fn": fn_name,
+            "task": canonicalize(task),
+            "error": error,
+            "attempts": attempts,
+            "workers": sorted(workers),
+        }
+        atomic_write_text(path, json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        return path
+
+    def entries(self) -> Tuple[Path, ...]:
+        """All quarantine record files, sorted for stable reporting."""
+        if not self.root.exists():
+            return ()
+        return tuple(sorted(self.root.glob("*.json")))
 
 
 # --------------------------------------------------------------------------- #

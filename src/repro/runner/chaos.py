@@ -1,0 +1,262 @@
+"""Deterministic fault injection for the runner stack.
+
+The paper's premise is graceful operation on an unreliable substrate; this
+module makes the *runner's* substrate unreliable on demand, so the
+requeue/heartbeat/torn-write recovery paths are exercised under real
+injected faults instead of being trusted on inspection.  A
+:class:`FaultPlan` is parsed from a compact spec string (the ``--chaos``
+flag, or the ``REPRO_CHAOS`` environment variable — which worker daemon
+subprocesses inherit), and the hook points consult the active plan:
+
+* :func:`repro.runner.backends.wire.send_message` /
+  :func:`~repro.runner.backends.wire.recv_message` — delay, truncate or
+  drop a frame, or drop the whole connection;
+* the worker serve loop — kill the connection mid-task, as if the daemon
+  process had been SIGKILLed and restarted by a supervisor;
+* :func:`repro.runner.cache.atomic_write_text` — tear a cache / point-store
+  write, leaving a truncated file at the final path (what a crash during a
+  non-atomic write would leave behind).
+
+Every directive fires **once**, when its per-process event counter reaches
+the requested ordinal, so a failure schedule is reproducible: the same spec
+against the same workload injects the same faults.  Only *data* frames
+(``task`` / ``result`` / ``error``) are counted — heartbeats and handshakes
+are timing-dependent and would make the schedule racy.
+
+Spec grammar (directives separated by ``;`` or ``,``)::
+
+    seed=7                 # seeds the delay jitter (default 0)
+    drop-send=N            # drop the connection instead of sending the Nth data frame
+    truncate-send=N        # send half of the Nth data frame, then drop (torn frame)
+    delay-send=N:SECONDS   # sleep a jittered SECONDS before the Nth data frame
+    drop-recv=N            # drop the connection after receiving the Nth data frame
+    kill-task=N            # worker: die mid-task on the Nth received task (reconnects)
+    tear-write=N           # leave the Nth atomic cache/point-store write truncated
+
+The whole point of the conformance suite around this module: a sweep run
+under any such plan must produce **byte-identical** results to a fault-free
+run — at-least-once redelivery, de-duplication, atomic stores and corrupt-
+entry quarantine absorb every injected fault.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: Environment variable carrying the chaos spec (inherited by local worker
+#: daemon subprocesses, so one flag faults the whole fleet).
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Frame kinds that advance the send/recv counters.  Heartbeats, hellos,
+#: goodbyes and shutdowns are excluded: their counts depend on scheduling
+#: timing, and a deterministic plan must not.
+_DATA_FRAME_KINDS = ("task", "result", "error")
+
+
+class ChaosInjected(ConnectionResetError):
+    """A connection-level fault injected by the active :class:`FaultPlan`.
+
+    Subclasses :class:`ConnectionResetError` so every handler that survives
+    a real peer reset survives an injected one — the entire point of the
+    exercise.
+    """
+
+
+def _parse_ordinal(directive: str, value: str) -> int:
+    try:
+        ordinal = int(value)
+    except ValueError:
+        raise ValueError(f"chaos directive {directive} expects an integer, got {value!r}") from None
+    if ordinal < 1:
+        raise ValueError(f"chaos directive {directive} expects an ordinal >= 1, got {ordinal}")
+    return ordinal
+
+
+@dataclass
+class FaultPlan:
+    """A parsed, seeded, once-per-directive fault schedule.
+
+    Counters are per-process and thread-safe; a plan installed in the
+    coordinator and inherited (via :data:`CHAOS_ENV_VAR`) by worker daemons
+    therefore fires each directive once *per process* — the coordinator and
+    every worker each see their own copy of the schedule.
+    """
+
+    spec: str = ""
+    seed: int = 0
+    drop_send: Optional[int] = None
+    truncate_send: Optional[int] = None
+    delay_send: Optional[Tuple[int, float]] = None
+    drop_recv: Optional[int] = None
+    kill_task: Optional[int] = None
+    tear_write: Optional[int] = None
+
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    _counts: Dict[str, int] = field(default_factory=dict, repr=False, compare=False)
+    _fired: Dict[str, bool] = field(default_factory=dict, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``--chaos`` / ``REPRO_CHAOS`` spec string."""
+        plan = cls(spec=spec)
+        for raw in spec.replace(",", ";").split(";"):
+            token = raw.strip()
+            if not token:
+                continue
+            directive, sep, value = token.partition("=")
+            directive = directive.strip().lower()
+            value = value.strip()
+            if not sep or not value:
+                raise ValueError(f"chaos directive {token!r} expects NAME=VALUE")
+            if directive == "seed":
+                plan.seed = _parse_ordinal(directive, value) if value != "0" else 0
+            elif directive == "drop-send":
+                plan.drop_send = _parse_ordinal(directive, value)
+            elif directive == "truncate-send":
+                plan.truncate_send = _parse_ordinal(directive, value)
+            elif directive == "delay-send":
+                ordinal, colon, seconds = value.partition(":")
+                if not colon:
+                    raise ValueError(
+                        f"chaos directive delay-send expects N:SECONDS, got {value!r}"
+                    )
+                plan.delay_send = (
+                    _parse_ordinal(directive, ordinal),
+                    float(seconds),
+                )
+                if plan.delay_send[1] < 0:
+                    raise ValueError("chaos delay-send seconds must be non-negative")
+            elif directive == "drop-recv":
+                plan.drop_recv = _parse_ordinal(directive, value)
+            elif directive == "kill-task":
+                plan.kill_task = _parse_ordinal(directive, value)
+            elif directive == "tear-write":
+                plan.tear_write = _parse_ordinal(directive, value)
+            else:
+                raise ValueError(f"unknown chaos directive {directive!r} in {spec!r}")
+        return plan
+
+    # ------------------------------------------------------------------ #
+    def _take(self, scope: str, ordinal: Optional[int]) -> bool:
+        """Advance *scope*'s counter; ``True`` exactly when it hits *ordinal*."""
+        if ordinal is None:
+            return False
+        with self._lock:
+            count = self._counts.get(scope, 0) + 1
+            self._counts[scope] = count
+            if count == ordinal and not self._fired.get(scope):
+                self._fired[scope] = True
+                return True
+        return False
+
+    def _jittered(self, seconds: float) -> float:
+        """A deterministic 0.5x–1.5x jitter of *seconds*, from the plan seed."""
+        return seconds * (0.5 + random.Random(self.seed).random())
+
+    # ------------------------------------------------------------------ #
+    # hook points
+    # ------------------------------------------------------------------ #
+    def filter_send(self, sock: Any, message: Tuple[Any, ...], frame: bytes) -> bytes:
+        """Apply send-side faults to one outgoing frame.
+
+        Returns the frame to send (unchanged when no directive fires).  A
+        ``drop-send`` closes the socket and raises :class:`ChaosInjected`;
+        a ``truncate-send`` writes half the frame first, so the peer sees a
+        torn frame followed by EOF.
+        """
+        if not message or message[0] not in _DATA_FRAME_KINDS:
+            return frame
+        if self.delay_send is not None and self._take("delay-send", self.delay_send[0]):
+            time.sleep(self._jittered(self.delay_send[1]))
+        if self._take("truncate-send", self.truncate_send):
+            try:
+                sock.sendall(frame[: max(1, len(frame) // 2)])
+            except OSError:
+                pass
+            _close_quietly(sock)
+            raise ChaosInjected("chaos: truncated frame mid-send")
+        if self._take("drop-send", self.drop_send):
+            _close_quietly(sock)
+            raise ChaosInjected("chaos: dropped connection before send")
+        return frame
+
+    def filter_recv(self, sock: Any, message: Tuple[Any, ...]) -> None:
+        """Apply recv-side faults after one decoded incoming frame."""
+        if not message or message[0] not in _DATA_FRAME_KINDS:
+            return
+        if self._take("drop-recv", self.drop_recv):
+            _close_quietly(sock)
+            raise ChaosInjected("chaos: dropped connection after recv")
+
+    def take_kill_task(self) -> bool:
+        """Whether the worker should die mid-task on this received task."""
+        return self._take("kill-task", self.kill_task)
+
+    def take_tear_write(self) -> bool:
+        """Whether this atomic write should be left torn at the final path."""
+        return self._take("tear-write", self.tear_write)
+
+
+def _close_quietly(sock: Any) -> None:
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - best effort
+        pass
+
+
+# --------------------------------------------------------------------------- #
+# the active plan (process-global, env-inherited)
+# --------------------------------------------------------------------------- #
+_UNRESOLVED = object()
+_active: Any = _UNRESOLVED
+_active_lock = threading.Lock()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The process's active plan (``None`` when chaos is off).
+
+    Resolved lazily from :data:`CHAOS_ENV_VAR` on first use, so worker
+    daemons spawned with the variable in their environment self-arm without
+    any extra plumbing.
+    """
+    global _active
+    if _active is _UNRESOLVED:
+        with _active_lock:
+            if _active is _UNRESOLVED:
+                spec = os.environ.get(CHAOS_ENV_VAR)
+                _active = FaultPlan.parse(spec) if spec else None
+    return _active
+
+
+def activate(spec_or_plan: "str | FaultPlan | None", *, export: bool = False) -> Optional[FaultPlan]:
+    """Install a plan (or ``None`` to disable) as the process's active plan.
+
+    With *export*, the spec is also written to :data:`CHAOS_ENV_VAR` so
+    subprocesses — the locally spawned worker daemons — inherit the same
+    schedule (each firing it independently, per process).
+    """
+    global _active
+    plan = (
+        FaultPlan.parse(spec_or_plan) if isinstance(spec_or_plan, str) else spec_or_plan
+    )
+    with _active_lock:
+        _active = plan
+    if export:
+        if plan is None:
+            os.environ.pop(CHAOS_ENV_VAR, None)
+        else:
+            os.environ[CHAOS_ENV_VAR] = plan.spec
+    return plan
+
+
+def reset() -> None:
+    """Forget the active plan (re-resolves from the environment lazily)."""
+    global _active
+    with _active_lock:
+        _active = _UNRESOLVED

@@ -45,14 +45,17 @@ from typing import Any, Dict, List, Optional
 
 from repro.experiments.scales import SCALES, get_scale
 from repro.phy.turbo.backends import backend_names
+from repro.runner import chaos
 from repro.runner.backends import (
     DEFAULT_BACKEND,
     DEFAULT_PARALLEL_BACKEND,
+    TASK_ERROR_POLICIES,
     create_execution_backend,
     execution_backend_names,
     run_worker,
 )
 from repro.runner.cache import (
+    QuarantineStore,
     ResultCache,
     config_digest,
     decoder_backend_identity,
@@ -146,6 +149,35 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "daemon (default: 1; 0 = one per CPU of the daemon's machine); "
         "external daemons advertise their own --slots",
     )
+    parser.add_argument(
+        "--on-task-error",
+        default=None,
+        choices=sorted(TASK_ERROR_POLICIES),
+        help="what a work item that *raises* does to the sweep: 'fail' "
+        "(default) aborts with the traceback; 'quarantine' records the item "
+        "under <cache-dir>/quarantine/ and completes the sweep without it "
+        "(worker crashes are always retried silently — this flag is about "
+        "poison tasks, not dead workers)",
+    )
+    parser.add_argument(
+        "--task-attempts",
+        type=int,
+        default=None,
+        metavar="K",
+        help="socket backend: retry a raising work item on up to K distinct "
+        "workers before applying --on-task-error (default: 1 — no retry; "
+        "a deterministic raise fails everywhere, so retries only help "
+        "machine-specific breakage)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for resilience testing, e.g. "
+        "'drop-send=4;kill-task=2;tear-write=1' (see repro.runner.chaos; "
+        "also honours the REPRO_CHAOS environment variable); results must "
+        "stay byte-identical under any plan",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -194,6 +226,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(keep the directory separate from --cache-dir)",
     )
     run_p.add_argument("--force", action="store_true", help="recompute even on a cache hit")
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from its journal under "
+        "<cache-dir>/journal/ (same experiment/scale/seed/flags); completed "
+        "grid points are replayed, the rest recomputed — output is "
+        "byte-identical to an uninterrupted run",
+    )
+    run_p.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="skip the crash-safe sweep journal (journaling is on by default "
+        "for simulated experiments; the journal is deleted on success)",
+    )
     run_p.add_argument(
         "--decoder-backend",
         default=None,
@@ -321,6 +367,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def make_runner(args: argparse.Namespace) -> ParallelRunner:
     """Build the :class:`ParallelRunner` an execution-flag set asks for."""
+    if getattr(args, "chaos", None):
+        # Export so auto-spawned socket worker daemons inherit the plan;
+        # each process fires its own copy of the directives.
+        chaos.activate(args.chaos, export=True)
     name = args.execution_backend
     workers = args.workers
     if name is None:
@@ -342,16 +392,25 @@ def make_runner(args: argparse.Namespace) -> ParallelRunner:
             "--socket-address/--socket-workers/--socket-task-timeout/"
             "--socket-worker-slots require --execution-backend socket"
         )
-    options = {}
+    if args.task_attempts is not None and name != "socket":
+        raise ValueError(
+            "--task-attempts requires --execution-backend socket (only the "
+            "distributed backend can retry an item on a *different* machine)"
+        )
+    options: Dict[str, Any] = {}
+    if args.on_task_error is not None:
+        options["on_task_error"] = args.on_task_error
     if name == "socket":
-        options = {
-            "bind": args.socket_address,
-            "local_workers": args.socket_workers,
-        }
+        options.update(
+            bind=args.socket_address,
+            local_workers=args.socket_workers,
+        )
         if args.socket_task_timeout is not None:
             options["task_timeout"] = args.socket_task_timeout
         if args.socket_worker_slots is not None:
             options["worker_slots"] = args.socket_worker_slots
+        if args.task_attempts is not None:
+            options["task_attempts"] = args.task_attempts
     backend = create_execution_backend(name, workers=workers, **options)
     if name == "socket" and args.socket_workers == 0:
         # External-worker mode: surface the bound address (the port may be
@@ -361,7 +420,10 @@ def make_runner(args: argparse.Namespace) -> ParallelRunner:
             f"python -m repro worker --connect {backend.address}",
             file=sys.stderr,
         )
-    return ParallelRunner(workers, backend=backend)
+    quarantine_store = None
+    if args.on_task_error == "quarantine" and getattr(args, "cache_dir", None) is not None:
+        quarantine_store = QuarantineStore(Path(args.cache_dir) / "quarantine")
+    return ParallelRunner(workers, backend=backend, quarantine_store=quarantine_store)
 
 
 # --------------------------------------------------------------------------- #
@@ -446,6 +508,8 @@ def experiment_payload(
     cache: Optional[ResultCache] = None,
     force: bool = False,
     point_store: Any = None,
+    journal_dir: Any = None,
+    resume: bool = False,
     **kwargs: Any,
 ) -> str:
     """Run (or fetch) an experiment and return its canonical JSON payload.
@@ -458,9 +522,15 @@ def experiment_payload(
     *workers* (when *runner* is ``None``) is closed before returning, a
     caller-provided runner stays open.
 
-    *point_store* is an explicit parameter — never part of ``**kwargs`` —
-    precisely so it can never leak into :func:`run_identity`: a warm shared
-    store changes how much work is scheduled, not a byte of the payload.
+    *point_store*, *journal_dir* and *resume* are explicit parameters —
+    never part of ``**kwargs`` — precisely so they can never leak into
+    :func:`run_identity`: a warm shared store or a replayed journal changes
+    how much work is scheduled, not a byte of the payload.  With
+    *journal_dir*, sweep progress is checkpointed under
+    ``<journal_dir>/<experiment>-<digest>.jsonl`` as it completes; a crashed
+    run repeated with ``resume=True`` replays completed grid points and
+    recomputes only the remainder.  The journal is deleted once the payload
+    is successfully built (the result cache takes over).
     """
     identity = run_identity(experiment, scale_name, seed, dict(sorted(kwargs.items())))
     digest = config_digest(identity)
@@ -470,9 +540,22 @@ def experiment_payload(
             return serialize_from_cache(hit)
     if point_store is not None:
         kwargs = dict(kwargs, point_store=point_store)
-    outcome = run_experiment(
-        experiment, scale_name, seed, runner=runner, workers=workers, **kwargs
-    )
+    journal = _open_journal(journal_dir, experiment, digest, resume=resume)
+    if journal is not None:
+        kwargs = dict(kwargs, journal=journal)
+    try:
+        outcome = run_experiment(
+            experiment, scale_name, seed, runner=runner, workers=workers, **kwargs
+        )
+    except BaseException:
+        if journal is not None:
+            journal.finalize(success=False)
+            print(
+                f"sweep interrupted; resume it with --resume "
+                f"(journal: {journal.path})",
+                file=sys.stderr,
+            )
+        raise
     payload = serialize_payload(
         experiment, identity=identity, tables=outcome.tables, extras=outcome.extras
     )
@@ -480,7 +563,23 @@ def experiment_payload(
         cache.store(
             experiment, digest, identity=identity, tables=outcome.tables, extras=outcome.extras
         )
+    if journal is not None:
+        journal.finalize(success=True)
     return payload
+
+
+def _open_journal(journal_dir: Any, experiment: str, digest: str, *, resume: bool):
+    """Open the sweep journal for one run identity (``None`` = journaling off)."""
+    if journal_dir is None:
+        return None
+    from repro.runner.journal import SweepJournal
+
+    journal = SweepJournal.open_for_run(
+        journal_dir, experiment, digest, resume=resume
+    )
+    if resume and journal.replayed_entries:
+        print(journal.summary(), file=sys.stderr)
+    return journal
 
 
 def serialize_from_cache(payload: Dict[str, Any]) -> str:
@@ -537,6 +636,8 @@ def scenario_payload(
     force: bool = False,
     overrides: Optional[Dict[str, Any]] = None,
     point_store: Any = None,
+    journal_dir: Any = None,
+    resume: bool = False,
     **kwargs: Any,
 ) -> str:
     """Run (or fetch) a scenario and return its canonical JSON payload.
@@ -562,6 +663,8 @@ def scenario_payload(
             cache=cache,
             force=force,
             point_store=point_store,
+            journal_dir=journal_dir,
+            resume=resume,
             **kwargs,
         )
     if spec.kind == "analytical":
@@ -580,15 +683,34 @@ def scenario_payload(
         hit = cache.load(cache_key, digest)
         if hit is not None:
             return serialize_from_cache(hit)
-    result = run_scenario(
-        spec, scale_name, seed, runner=runner, point_store=point_store, **kwargs
-    )
+    journal = _open_journal(journal_dir, cache_key, digest, resume=resume)
+    try:
+        result = run_scenario(
+            spec,
+            scale_name,
+            seed,
+            runner=runner,
+            point_store=point_store,
+            journal=journal,
+            **kwargs,
+        )
+    except BaseException:
+        if journal is not None:
+            journal.finalize(success=False)
+            print(
+                f"sweep interrupted; resume it with --resume "
+                f"(journal: {journal.path})",
+                file=sys.stderr,
+            )
+        raise
     tables, extras = _normalise(result)
     payload = serialize_payload(
         cache_key, identity=identity, tables=tables, extras=extras
     )
     if cache is not None:
         cache.store(cache_key, digest, identity=identity, tables=tables, extras=extras)
+    if journal is not None:
+        journal.finalize(success=True)
     return payload
 
 
@@ -639,6 +761,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise ValueError(
             f"--adaptive applies to the fault-map sweeps {list(ADAPTIVE_EXPERIMENTS)}"
         )
+    journal_dir = _journal_dir(args, stochastic=EXPERIMENTS[args.experiment].stochastic)
     with make_runner(args) as runner:
         payload = experiment_payload(
             args.experiment,
@@ -648,9 +771,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             cache=cache,
             force=args.force,
             point_store=point_store,
+            journal_dir=journal_dir,
+            resume=args.resume,
             **kwargs,
         )
     _report_point_store(point_store)
+    _report_task_failures(runner)
     return _emit_payload(payload, args)
 
 
@@ -667,6 +793,39 @@ def _report_point_store(point_store) -> None:
     """Tell the user what the shared store saved (stderr, like a progress line)."""
     if point_store is not None:
         print(point_store.summary(), file=sys.stderr)
+
+
+def _journal_dir(args: argparse.Namespace, *, stochastic: bool) -> Optional[Path]:
+    """Where ``repro run`` journals sweep progress (``None`` = journaling off)."""
+    if args.resume and args.no_journal:
+        raise ValueError("--resume replays the sweep journal; drop --no-journal")
+    if not stochastic:
+        # Analytical experiments finish in milliseconds: nothing to resume.
+        if args.resume:
+            raise ValueError(
+                "--resume applies to simulated sweeps only (this run is analytical)"
+            )
+        return None
+    if args.no_journal:
+        return None
+    return Path(args.cache_dir) / "journal"
+
+
+def _report_task_failures(runner: ParallelRunner) -> None:
+    """Summarise quarantined work items (stderr), one line per item."""
+    failures = runner.task_failures
+    if not failures:
+        return
+    store = runner.quarantine_store
+    where = f" under {store.root}" if store is not None else ""
+    print(
+        f"warning: {len(failures)} work item(s) quarantined{where}; "
+        f"the affected grid points were merged from surviving items only "
+        f"and never written to any cache:",
+        file=sys.stderr,
+    )
+    for sentinel in failures:
+        print(f"  - {sentinel.summary()}", file=sys.stderr)
 
 
 def _run_scenario_cmd(args: argparse.Namespace) -> int:
@@ -690,6 +849,7 @@ def _run_scenario_cmd(args: argparse.Namespace) -> int:
         )
     if kwargs.get("adaptive") and spec.kind != "fault":
         raise ValueError("--adaptive applies to fault-map scenarios only")
+    journal_dir = _journal_dir(args, stochastic=spec.kind != "analytical")
     with make_runner(args) as runner:
         payload = scenario_payload(
             args.name,
@@ -700,9 +860,12 @@ def _run_scenario_cmd(args: argparse.Namespace) -> int:
             force=args.force,
             overrides=overrides,
             point_store=point_store,
+            journal_dir=journal_dir,
+            resume=args.resume,
             **kwargs,
         )
     _report_point_store(point_store)
+    _report_task_failures(runner)
     return _emit_payload(payload, args)
 
 

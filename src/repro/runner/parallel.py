@@ -53,6 +53,7 @@ from repro.runner.backends import (
     DEFAULT_BACKEND,
     DEFAULT_PARALLEL_BACKEND,
     ExecutionBackend,
+    TaskQuarantined,
     create_execution_backend,
     default_workers,
 )
@@ -120,6 +121,12 @@ class ParallelRunner:
         ``None`` for the historical default — serial for ``workers <= 1``,
         the local process pool otherwise.  The backend choice can never
         change results; it is pure execution topology.
+    quarantine_store:
+        Optional :class:`~repro.runner.cache.QuarantineStore` that receives
+        an on-disk record (task identity + traceback) for every
+        :class:`TaskQuarantined` sentinel a backend yields under
+        ``on_task_error="quarantine"``.  In-memory sentinels additionally
+        accumulate on :attr:`task_failures` for the end-of-run report.
     """
 
     def __init__(
@@ -128,6 +135,7 @@ class ParallelRunner:
         *,
         mp_context: Optional[str] = None,
         backend: Union[str, ExecutionBackend, None] = None,
+        quarantine_store: Optional[object] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
@@ -138,6 +146,9 @@ class ParallelRunner:
             backend, workers=self.workers, mp_context=mp_context
         )
         self.mp_context = getattr(self._backend, "mp_context", mp_context)
+        self.quarantine_store = quarantine_store
+        #: Every quarantined work item seen by this runner (for reporting).
+        self.task_failures: List[TaskQuarantined] = []
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -196,17 +207,63 @@ class ParallelRunner:
             raise RuntimeError(f"backend never delivered results for items {missing}")
         return results
 
-    def map(self, fn: Callable[[TaskT], ResultT], tasks: Sequence[TaskT]) -> List[ResultT]:
+    def map(
+        self,
+        fn: Callable[[TaskT], ResultT],
+        tasks: Sequence[TaskT],
+        *,
+        allow_quarantined: bool = False,
+    ) -> List[ResultT]:
         """Run ``fn`` over *tasks* and return results in task order.
 
         Because each task carries its own seed material, the output is
         identical for any worker count and any backend — including the
         serial fallback.
+
+        Under a backend with ``on_task_error="quarantine"``, a failing item
+        comes back as a :class:`TaskQuarantined` sentinel instead of
+        aborting the round.  Every sentinel is recorded (in memory, and on
+        disk when a :attr:`quarantine_store` is attached); then, unless the
+        caller opted in with *allow_quarantined* — meaning it knows what a
+        missing result means for its aggregate — the first sentinel raises,
+        because silently averaging over a partial result set would corrupt
+        the science.
         """
         tasks = list(tasks)
         if not tasks:
             return []
-        return self.collect_in_order(self.submit_round(fn, tasks), len(tasks))
+        results = self.collect_in_order(self.submit_round(fn, tasks), len(tasks))
+        quarantined = [r for r in results if isinstance(r, TaskQuarantined)]
+        if quarantined:
+            self._record_quarantined(fn, tasks, quarantined)
+            if not allow_quarantined:
+                raise RuntimeError(
+                    f"{len(quarantined)} work item(s) were quarantined but this "
+                    f"computation cannot tolerate missing results "
+                    f"({quarantined[0].summary()}); rerun with "
+                    f"--on-task-error=fail to abort on the first traceback:\n"
+                    f"{quarantined[0].error}"
+                )
+        return results
+
+    def _record_quarantined(
+        self,
+        fn: Callable[[TaskT], ResultT],
+        tasks: Sequence[TaskT],
+        quarantined: Sequence[TaskQuarantined],
+    ) -> None:
+        fn_name = getattr(fn, "__qualname__", None) or repr(fn)
+        self.task_failures.extend(quarantined)
+        if self.quarantine_store is None:
+            return
+        for sentinel in quarantined:
+            self.quarantine_store.record(
+                fn_name,
+                tasks[sentinel.index],
+                error=sentinel.error,
+                attempts=sentinel.attempts,
+                workers=sentinel.workers,
+            )
 
     # ------------------------------------------------------------------ #
     # the unified adaptive round loop
@@ -223,6 +280,8 @@ class ParallelRunner:
         budget: int,
         max_trials: Optional[int] = None,
         on_result: Optional[Callable[[ResultT], None]] = None,
+        initial: Optional[Tuple[int, int, int]] = None,
+        on_round: Optional[Callable[[Sequence[ResultT]], None]] = None,
     ) -> AdaptiveRounds:
         """The one round loop behind every adaptive (early-stopped) estimate.
 
@@ -258,21 +317,28 @@ class ParallelRunner:
             (``"budget"``).
         max_trials:
             Optional hard trial ceiling (``"max_packets"``).
-        """
-        errors = 0
-        trials = 0
-        num_items = 0
-        stop_reason = "budget"
-        while True:
-            round_tasks = list(schedule_round(num_items, trials))
-            for result in execute_round(self, round_tasks):
-                if on_result is not None:
-                    on_result(result)
-                result_errors, result_trials = to_counts(result)
-                errors += int(result_errors)
-                trials += int(result_trials)
-            num_items += len(round_tasks)
+        initial:
+            Optional ``(errors, trials, num_items)`` state to resume from —
+            a sweep journal replays its recorded rounds into these counters
+            and the loop continues exactly where the interrupted run
+            stopped.  ``None`` starts fresh.
+        on_round:
+            Optional hook receiving each completed round's result list
+            *after* its counts are accumulated (the journal's checkpoint
+            writer: by the time the hook runs, the round is fully
+            accounted and safe to record).
 
+        The stop conditions are evaluated at the **top** of the loop, in
+        the same precedence order they historically held after each round
+        (confident, then max_trials, then budget).  For a fresh run this is
+        behaviourally identical — zero trials can satisfy none of them
+        (``min_trials`` and ``budget`` are positive) — but a *resumed* run
+        whose replayed state already meets a stop condition must terminate
+        without scheduling another round, or resume would change results.
+        """
+        errors, trials, num_items = initial if initial is not None else (0, 0, 0)
+        errors, trials, num_items = int(errors), int(trials), int(num_items)
+        while True:
             if trials >= min_trials and errors > 0:
                 interval = proportion_confidence_interval(errors, trials, confidence)
                 if interval.half_width <= relative_error * interval.value:
@@ -284,6 +350,18 @@ class ParallelRunner:
             if trials >= budget:
                 stop_reason = "budget"
                 break
+            round_tasks = list(schedule_round(num_items, trials))
+            round_results: List[ResultT] = []
+            for result in execute_round(self, round_tasks):
+                if on_result is not None:
+                    on_result(result)
+                round_results.append(result)
+                result_errors, result_trials = to_counts(result)
+                errors += int(result_errors)
+                trials += int(result_trials)
+            num_items += len(round_tasks)
+            if on_round is not None:
+                on_round(round_results)
         return AdaptiveRounds(
             errors=errors, trials=trials, num_items=num_items, stop_reason=stop_reason
         )

@@ -25,7 +25,9 @@ experiment, and mixing the two would pollute ``repro cache ls``.
 from __future__ import annotations
 
 import json
+import os
 import re
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
@@ -228,14 +230,49 @@ class PointStore:
         Does not touch the hit/miss counters — those belong to the typed
         loaders the sweep paths use; this is the query-front-end accessor.
         """
+        return self.load_payload_with_status(digest)[0]
+
+    def load_payload_with_status(
+        self, digest: str
+    ) -> Tuple[Optional[Dict[str, Any]], str]:
+        """Like :meth:`load_payload`, but also say *why* a lookup missed.
+
+        Returns ``(payload, status)`` with status one of ``"ok"``,
+        ``"missing"``, ``"corrupt"``, ``"stale-format"`` or ``"unreadable"``
+        — the same vocabulary as :meth:`ResultCache.load_with_status`.  A
+        torn entry is quarantined to ``<digest>.json.corrupt`` with a
+        :class:`RuntimeWarning` (point stores are written atomically, so a
+        non-JSON file was damaged after the write) and reads as a miss, so
+        the sweep recomputes and re-stores the point instead of failing.
+        """
         path = self.path_for(digest)
+        if not path.exists():
+            status = (
+                "corrupt"
+                if path.with_name(path.name + ".corrupt").exists()
+                else "missing"
+            )
+            return None, status
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
+        except OSError:
+            return None, "unreadable"
+        except json.JSONDecodeError:
+            quarantine = path.with_name(path.name + ".corrupt")
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                quarantine = path
+            warnings.warn(
+                f"point-store entry {digest} is corrupt JSON; "
+                f"quarantined at {quarantine}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None, "corrupt"
         if payload.get("point_store_format") != POINT_STORE_FORMAT_VERSION:
-            return None
-        return payload
+            return None, "stale-format"
+        return payload, "ok"
 
     def _load_result(self, digest: str, kind: str) -> Optional[Dict[str, Any]]:
         payload = self.load_payload(digest)

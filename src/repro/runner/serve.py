@@ -6,6 +6,7 @@ as a tiny stdlib :mod:`http.server` API:
 
 ==================================  =======================================
 ``GET /``                           API index (route listing + counts)
+``GET /healthz``                    liveness probe (always 200 when serving)
 ``GET /experiments``                experiment -> list of identity digests
 ``GET /experiments/<name>``         one experiment's digests
 ``GET /experiments/<name>/<digest>``  the cached run payload, verbatim
@@ -19,6 +20,14 @@ fetched over HTTP is byte-identical to the cache file (and, for default-
 scale figure runs, to the golden snapshot).  Unknown names, malformed
 digests and traversal attempts all produce JSON 404s — path segments are
 validated before they ever reach the filesystem.
+
+Errors are structured: every non-200 body is ``{"error": ..., "reason":
+...}`` with a machine-readable reason.  A digest that *was* stored but is no
+longer servable — its entry was quarantined as corrupt, or written by an
+incompatible format version — answers ``410 Gone`` (reason
+``quarantined-corrupt`` / ``stale-format`` / ``unreadable``) so clients can
+distinguish "never existed" from "lost, recompute it"; unexpected handler
+failures answer a JSON 500 instead of a bare connection drop.
 
 Like the wire protocol, this binds loopback by default; serve a routable
 address only where every client is trusted (there is no authentication).
@@ -81,19 +90,29 @@ class _QueryHandler(BaseHTTPRequestHandler):
         try:
             if not segments:
                 return self._respond(200, self._index())
+            if segments[0] == "healthz":
+                return self._healthz(segments[1:])
             if segments[0] == "experiments":
                 return self._experiments(segments[1:])
             if segments[0] == "points":
                 return self._points(segments[1:])
         except ValueError:
             pass  # malformed segment: fall through to the 404
-        self._respond(404, {"error": f"no such resource: {self.path}"})
+        except Exception as exc:  # structured 500 instead of a bare drop
+            return self._respond(
+                500,
+                {"error": f"{type(exc).__name__}: {exc}", "reason": "internal-error"},
+            )
+        self._respond(
+            404, {"error": f"no such resource: {self.path}", "reason": "not-found"}
+        )
 
     def _index(self) -> Dict[str, Any]:
         store = self.server.point_store
         return {
             "service": "repro-query",
             "routes": [
+                "/healthz",
                 "/experiments",
                 "/experiments/<name>",
                 "/experiments/<name>/<digest>",
@@ -103,6 +122,20 @@ class _QueryHandler(BaseHTTPRequestHandler):
             "experiments": self.server.cache.entries(),
             "points": 0 if store is None else len(store),
         }
+
+    def _healthz(self, rest) -> None:
+        """Liveness/readiness probe: cheap, allocation-free counts only."""
+        if rest:
+            raise ValueError("/".join(rest))
+        store = self.server.point_store
+        self._respond(
+            200,
+            {
+                "status": "ok",
+                "experiments": sum(self.server.cache.entries().values()),
+                "points": 0 if store is None else len(store),
+            },
+        )
 
     def _experiments(self, rest) -> None:
         cache = self.server.cache
@@ -121,32 +154,49 @@ class _QueryHandler(BaseHTTPRequestHandler):
                 if experiment == rest[0]
             ]
             if not digests:
-                return self._respond(404, {"error": f"no cached runs for {rest[0]!r}"})
+                return self._respond(
+                    404,
+                    {"error": f"no cached runs for {rest[0]!r}", "reason": "not-found"},
+                )
             return self._respond(200, {rest[0]: digests})
         if len(rest) == 2:
-            payload = cache.load(rest[0], rest[1])
+            payload, status = cache.load_with_status(rest[0], rest[1])
             if payload is None:
-                return self._respond(
-                    404, {"error": f"no cached run {rest[0]}/{rest[1]}"}
-                )
+                return self._respond_lost(f"cached run {rest[0]}/{rest[1]}", status)
             return self._respond(200, payload)
         raise ValueError("/".join(rest))
 
     def _points(self, rest) -> None:
         store = self.server.point_store
         if store is None:
-            return self._respond(404, {"error": "no point store attached"})
+            return self._respond(
+                404, {"error": "no point store attached", "reason": "not-found"}
+            )
         if not rest:
             return self._respond(200, {"points": list(store.iter_digests())})
         if len(rest) == 1:
             try:
-                payload = store.load_payload(rest[0])
+                payload, status = store.load_payload_with_status(rest[0])
             except ValueError:
-                payload = None
+                payload, status = None, "missing"
             if payload is None:
-                return self._respond(404, {"error": f"no stored point {rest[0]}"})
+                return self._respond_lost(f"stored point {rest[0]}", status)
             return self._respond(200, payload)
         raise ValueError("/".join(rest))
+
+    def _respond_lost(self, what: str, status: str) -> None:
+        """404 for never-stored entries, 410 for stored-but-unservable ones.
+
+        410 tells a client "this existed; recompute it" — its entry was
+        quarantined as corrupt, written by an incompatible format version,
+        or is unreadable on disk.
+        """
+        if status == "missing":
+            return self._respond(
+                404, {"error": f"no {what}", "reason": "not-found"}
+            )
+        reason = "quarantined-corrupt" if status == "corrupt" else status
+        self._respond(410, {"error": f"{what} is no longer servable", "reason": reason})
 
     # ------------------------------------------------------------------ #
     def _respond(self, status: int, payload: Any) -> None:

@@ -33,6 +33,7 @@ from repro.harq.metrics import HarqStatistics, merge_statistics
 from repro.link.config import LinkConfig
 from repro.memory.faults import FaultModel, FaultModelSpec, coerce_fault_model
 from repro.link.system import HspaLikeLink, PacketGroup, simulate_packet_groups
+from repro.runner.backends.base import TaskQuarantined
 from repro.utils.rng import keyed_seed_sequence
 
 #: Upper bound on memoised link simulators per worker process.  Comfortably
@@ -465,6 +466,7 @@ def run_fault_map_grid(
     aggregate_packets: int = DEFAULT_AGGREGATE_PACKETS,
     adaptive: Optional[AdaptiveStopping] = None,
     point_store=None,
+    journal=None,
 ) -> List[FaultSimulationPoint]:
     """Evaluate a whole sweep grid and return one merged point per entry.
 
@@ -489,6 +491,22 @@ def run_fault_map_grid(
     store returns exact round-trips, so warm-store results are
     byte-identical to cold ones; like the execution backend, the store is
     topology and never part of any run identity.
+
+    With *journal* (a :class:`~repro.runner.journal.SweepJournal`), every
+    freshly merged point is checkpointed as it completes, and points the
+    journal already holds (replayed from an interrupted run via
+    ``--resume``) are loaded instead of recomputed.  Like the point store,
+    the journal is pure topology — the remaining points run with exactly
+    the spawn keys a fresh run would use, so resumed output is
+    byte-identical.
+
+    Under a runner whose backend quarantines poisoned tasks
+    (``--on-task-error=quarantine``), a point that lost *some* dies is
+    still merged from the surviving ones — marked tainted, so it is never
+    written to the cache, the point store or the journal — and a point
+    that lost *every* die raises.  Quarantine changes that point's
+    statistics (fewer dies), which is exactly why tainted results never
+    reach any persistent store.
     """
     from repro.runner.point_store import fault_point_identity, resolve_point_store
 
@@ -516,11 +534,32 @@ def run_fault_map_grid(
             else:
                 pending.append(index)
 
-    def finish(index: int, merged: FaultSimulationPoint) -> None:
-        if store is not None:
-            digest, identity = identities[index]
-            store.store_fault_point(digest, merged, identity)
+    def finish(
+        index: int,
+        merged: FaultSimulationPoint,
+        *,
+        tainted: bool = False,
+        checkpoint: bool = True,
+    ) -> None:
+        if not tainted:
+            if store is not None:
+                digest, identity = identities[index]
+                store.store_fault_point(digest, merged, identity)
+            if journal is not None and checkpoint:
+                journal.record_fault_point(index, merged)
         results[index] = merged
+
+    if journal is not None:
+        still_pending = []
+        for index in pending:
+            checkpointed = journal.completed_fault_point(index)
+            if checkpointed is not None:
+                # Replayed from the interrupted run; re-recording it would
+                # only duplicate the journal entry.
+                finish(index, checkpointed, checkpoint=False)
+            else:
+                still_pending.append(index)
+        pending = still_pending
 
     if adaptive is not None:
         for index in pending:
@@ -535,6 +574,8 @@ def run_fault_map_grid(
                     use_rake=use_rake,
                     adaptive=adaptive,
                     aggregate_packets=aggregate_packets,
+                    journal=journal,
+                    point_index=index,
                 ),
             )
         return results
@@ -558,17 +599,35 @@ def run_fault_map_grid(
             )
         )
     task_groups = group_tasks_for_batching(tasks, aggregate_packets)
-    outcomes: List[FaultMapOutcome] = []
-    for group_result in runner.map(simulate_fault_map_batch, task_groups):
-        outcomes.extend(group_result)
+    outcomes: List[Optional[FaultMapOutcome]] = []
+    for group, group_result in zip(
+        task_groups,
+        runner.map(simulate_fault_map_batch, task_groups, allow_quarantined=True),
+    ):
+        if isinstance(group_result, TaskQuarantined):
+            # A quarantined *batch* loses every die it pooled; keep the
+            # point-major layout intact with per-die holes.
+            outcomes.extend([None] * len(group))
+        else:
+            outcomes.extend(group_result)
     for slot, index in enumerate(pending):
+        point_outcomes = outcomes[slot * num_fault_maps : (slot + 1) * num_fault_maps]
+        survivors = [o for o in point_outcomes if o is not None]
+        if not survivors:
+            raise RuntimeError(
+                f"every die of grid point {index} "
+                f"(key_prefix={points[index].key_prefix}) was quarantined; "
+                f"there is nothing left to merge — see the quarantine "
+                f"directory for the tracebacks"
+            )
         finish(
             index,
             merge_fault_outcomes(
-                outcomes[slot * num_fault_maps : (slot + 1) * num_fault_maps],
+                survivors,
                 snr_db=points[index].snr_db,
                 protection=points[index].protection,
             ),
+            tainted=len(survivors) < len(point_outcomes),
         )
     return results
 
@@ -583,6 +642,8 @@ def _run_adaptive_point(
     use_rake: bool,
     adaptive: AdaptiveStopping,
     aggregate_packets: int = DEFAULT_AGGREGATE_PACKETS,
+    journal=None,
+    point_index: Optional[int] = None,
 ) -> FaultSimulationPoint:
     """Adaptively estimate one grid point, one round of die chunks at a time.
 
@@ -596,6 +657,14 @@ def _run_adaptive_point(
     scheduler — which dies run depends only on round membership, so neither
     grouping, nor the worker count, nor the execution backend can change
     the result.
+
+    With a *journal*, every completed round is checkpointed under
+    *point_index*, and a resumed run replays those rounds into the
+    estimator's ``(errors, trials, num_items)`` state before scheduling
+    more — so the stopping decision, the spawn keys of the remaining
+    rounds, and hence the merged point are byte-identical to an
+    uninterrupted run.  An abandoned (half-executed, never journaled)
+    round is simply re-run from its deterministic keys.
     """
     from repro.core.montecarlo import required_packets_for_bler
 
@@ -633,6 +702,22 @@ def _run_adaptive_point(
             yield from group_outcomes
 
     outcomes: List[FaultMapOutcome] = []
+    initial = None
+    on_round = None
+    if journal is not None and point_index is not None:
+        errors = trials = num_items = 0
+        for round_outcomes in journal.adaptive_rounds(point_index):
+            for outcome in round_outcomes:
+                outcomes.append(outcome)
+                round_errors, round_trials = _fault_outcome_errors(outcome)
+                errors += round_errors
+                trials += round_trials
+            num_items += len(round_outcomes)
+        initial = (errors, trials, num_items)
+
+        def on_round(round_results: Sequence[FaultMapOutcome]) -> None:
+            journal.record_adaptive_round(point_index, list(round_results))
+
     runner.run_adaptive_rounds(
         schedule_round,
         execute_round,
@@ -643,6 +728,8 @@ def _run_adaptive_point(
         budget=budget,
         max_trials=max_trials,
         on_result=outcomes.append,
+        initial=initial,
+        on_round=on_round,
     )
 
     return merge_fault_outcomes(outcomes, snr_db=point.snr_db, protection=point.protection)

@@ -32,6 +32,7 @@ from repro.experiments.scales import Scale, get_scale
 from repro.harq.metrics import HarqStatistics, merge_statistics
 from repro.link.config import LinkConfig
 from repro.memory.faults import coerce_fault_model
+from repro.runner.backends.base import TaskQuarantined
 from repro.runner.parallel import ParallelRunner, runner_scope
 from repro.runner.tasks import (
     GridPoint,
@@ -186,6 +187,7 @@ def run_scenario_grid(
     decoder_backend: Optional[str] = None,
     adaptive: Any = None,
     point_store: Any = None,
+    journal: Any = None,
 ) -> ScenarioOutcome:
     """Execute a scenario grid and return its per-cell outcomes.
 
@@ -200,6 +202,11 @@ def run_scenario_grid(
     in the shared store and persists freshly computed ones.  It is pure
     topology: a warm store changes how much work is scheduled, never a bit
     of the outcome.
+
+    *journal* (a :class:`~repro.runner.journal.SweepJournal`) checkpoints
+    every merged cell as it completes and, on ``--resume``, loads replayed
+    cells instead of recomputing them.  Also pure topology: the remaining
+    cells run with exactly the spawn keys a fresh run would use.
     """
     from repro.runner.point_store import bler_cell_identity, resolve_point_store
 
@@ -228,6 +235,7 @@ def run_scenario_grid(
                 use_rake=spec.equalizer == "rake",
                 adaptive=resolve_adaptive(adaptive),
                 point_store=store,
+                journal=journal,
             )
         return outcome
 
@@ -246,6 +254,11 @@ def run_scenario_grid(
                     f"scenario {spec.name!r} needs an SNR: set snr_db or add an "
                     "snr_db axis"
                 )
+            if journal is not None:
+                checkpointed = journal.completed_bler_cell(cell_index)
+                if checkpointed is not None:
+                    merged[cell_index] = checkpointed
+                    continue
             if store is not None:
                 identity = bler_cell_identity(
                     config,
@@ -274,20 +287,42 @@ def run_scenario_grid(
                 )
                 for chunk_index, chunk_packets in enumerate(chunk_sizes)
             )
+        task_groups = group_tasks_for_batching(tasks)
+        chunk_statistics: List[Optional[HarqStatistics]] = []
         with runner_scope(runner) as active_runner:
-            chunk_statistics = [
-                statistics
-                for batch in active_runner.map(
-                    simulate_link_chunk_batch, group_tasks_for_batching(tasks)
-                )
-                for statistics in batch
-            ]
+            for group, batch in zip(
+                task_groups,
+                active_runner.map(
+                    simulate_link_chunk_batch, task_groups, allow_quarantined=True
+                ),
+            ):
+                if isinstance(batch, TaskQuarantined):
+                    # A quarantined batch loses every chunk it pooled; keep
+                    # the cell-major layout intact with per-chunk holes.
+                    chunk_statistics.extend([None] * len(group))
+                else:
+                    chunk_statistics.extend(batch)
         for slot, (cell_index, digest, identity) in enumerate(pending):
-            cell_statistics = merge_statistics(
-                chunk_statistics[slot * len(chunk_sizes) : (slot + 1) * len(chunk_sizes)]
-            )
-            if store is not None:
-                store.store_statistics(digest, cell_statistics, identity)
+            cell_chunks = chunk_statistics[
+                slot * len(chunk_sizes) : (slot + 1) * len(chunk_sizes)
+            ]
+            survivors = [s for s in cell_chunks if s is not None]
+            if not survivors:
+                raise RuntimeError(
+                    f"every chunk of grid cell {cell_index} "
+                    f"(key={cells[cell_index].key}) was quarantined; there is "
+                    f"nothing left to merge — see the quarantine directory "
+                    f"for the tracebacks"
+                )
+            cell_statistics = merge_statistics(survivors)
+            if len(survivors) == len(cell_chunks):
+                # Only complete cells reach the persistent layers; a cell
+                # with quarantined chunks has different statistics and must
+                # never poison the store or the journal.
+                if store is not None:
+                    store.store_statistics(digest, cell_statistics, identity)
+                if journal is not None:
+                    journal.record_bler_cell(cell_index, cell_statistics)
             merged[cell_index] = cell_statistics
         outcome.statistics = merged
         return outcome
@@ -370,6 +405,7 @@ def run_scenario(
     decoder_backend: Optional[str] = None,
     adaptive: Any = None,
     point_store: Any = None,
+    journal: Any = None,
 ) -> Any:
     """Run one scenario end to end and return its tables.
 
@@ -383,10 +419,11 @@ def run_scenario(
             decoder_backend is not None
             or resolve_adaptive(adaptive) is not None
             or point_store is not None
+            or journal is not None
         ):
             raise ValueError(
                 f"scenario {spec.name!r} is analytical; decoder/adaptive/"
-                "point-store flags do not apply"
+                "point-store/journal flags do not apply"
             )
         return spec.analytic(scale, seed, runner=runner)
     outcome = run_scenario_grid(
@@ -397,6 +434,7 @@ def run_scenario(
         decoder_backend=decoder_backend,
         adaptive=adaptive,
         point_store=point_store,
+        journal=journal,
     )
     presenter = spec.presenter or default_tables
     return presenter(outcome)
