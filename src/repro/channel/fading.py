@@ -100,6 +100,31 @@ class JakesFadingRealization:
         return (in_phase + 1j * quadrature) / np.sqrt(n)
 
 
+def jakes_gains_batch(
+    realizations, start_sample: int, num_samples: int
+) -> np.ndarray:
+    """Evaluate many :class:`JakesFadingRealization` waveforms in one pass.
+
+    All realisations must share one sample rate (they come from the same
+    process).  The evaluation is elementwise plus a contiguous last-axis
+    reduction, so each output row is bit-identical to
+    ``realizations[i].gains(start_sample, num_samples)``.
+    """
+    num_samples = ensure_positive_int(num_samples, "num_samples")
+    if start_sample < 0:
+        raise ValueError("start_sample must be non-negative")
+    if not realizations:
+        raise ValueError("realizations must not be empty")
+    shifts = np.stack([r.doppler_shifts for r in realizations])
+    phases_i = np.stack([r.phases_i for r in realizations])
+    phases_q = np.stack([r.phases_q for r in realizations])
+    t = (start_sample + np.arange(num_samples)) / realizations[0].sample_rate_hz
+    argument = t[None, :, None] * shifts[:, None, :]
+    in_phase = np.sum(np.cos(argument + phases_i[:, None, :]), axis=2)
+    quadrature = np.sum(np.sin(argument + phases_q[:, None, :]), axis=2)
+    return (in_phase + 1j * quadrature) / np.sqrt(shifts.shape[1])
+
+
 @dataclass
 class JakesFadingProcess:
     """Sum-of-sinusoids Rayleigh fading waveform generator (Clarke/Jakes model).

@@ -125,6 +125,10 @@ class MultipathChannel:
 
     def __post_init__(self) -> None:
         self._tap_indices, self._tap_powers = self.profile.resample(self.sample_period_ns)
+        # Reusable real workspace for the per-packet noise-power derivation:
+        # |signal|^2 is computed in place here instead of materialising two
+        # fresh full-batch temporaries (abs, then square) every round.
+        self._power_workspace: np.ndarray | None = None
 
     @property
     def num_effective_taps(self) -> int:
@@ -178,13 +182,99 @@ class MultipathChannel:
             ``(received, impulse_response, noise_variance)`` where *received*
             has length ``len(signal) + L - 1``.
         """
-        generator = as_rng(rng)
-        sig = np.asarray(signal, dtype=np.complex128)
-        h = impulse_response if impulse_response is not None else self.realize(generator)
-        convolved = np.convolve(sig, h)
-        if mean_signal_power is None:
-            mean_signal_power = float(np.mean(np.abs(sig) ** 2))
-        signal_power = float(mean_signal_power) * float(np.sum(np.abs(h) ** 2))
-        noise_variance = signal_power / (10.0 ** (snr_db / 10.0))
-        received = convolved + awgn_noise(convolved.shape, noise_variance, generator)
-        return received, h, noise_variance
+        sig = np.asarray(signal, dtype=np.complex128).reshape(1, -1)
+        received, responses, noise_variances = self.apply_batch(
+            sig,
+            [snr_db],
+            [as_rng(rng)],
+            impulse_responses=None if impulse_response is None else [impulse_response],
+            mean_signal_powers=None if mean_signal_power is None else [mean_signal_power],
+        )
+        return received[0], responses[0], float(noise_variances[0])
+
+    def mean_signal_powers(self, signals: np.ndarray) -> np.ndarray:
+        """Row-wise mean ``|x|^2`` of a ``(batch, n)`` sample matrix.
+
+        Uses the channel's preallocated real workspace so the per-round
+        noise-power derivation does not materialise two fresh full-batch
+        temporaries (the magnitude and its square).  Bit-identical to
+        ``np.mean(np.abs(row) ** 2)`` per row.
+        """
+        sig = np.asarray(signals, dtype=np.complex128)
+        workspace = self._power_workspace
+        if workspace is None or workspace.shape != sig.shape:
+            workspace = np.empty(sig.shape, dtype=np.float64)
+            self._power_workspace = workspace
+        np.abs(sig, out=workspace)
+        np.multiply(workspace, workspace, out=workspace)
+        return workspace.mean(axis=1)
+
+    def apply_batch(
+        self,
+        signals: np.ndarray,
+        snr_dbs,
+        rngs,
+        impulse_responses=None,
+        mean_signal_powers=None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row-wise :meth:`apply` for a batch of independent packets.
+
+        Every packet draws its fading gains and noise from its *own*
+        generator in exactly the serial order (realisation first, then
+        noise), so a batch of N is byte-identical to N serial calls.  The
+        received matrix is preallocated and filled row by row; the
+        convolution stays per-packet (``np.convolve``) because a shifted
+        tap-accumulation differs bitwise.
+
+        Parameters
+        ----------
+        signals:
+            ``(batch, num_samples)`` complex transmit matrix.
+        snr_dbs:
+            Per-packet receive SNRs in dB (scalar broadcasts).
+        rngs:
+            One seed or generator per packet.
+        impulse_responses:
+            Optional pre-drawn per-packet impulse responses.
+        mean_signal_powers:
+            Optional per-packet average transmit powers (see :meth:`apply`).
+
+        Returns
+        -------
+        tuple
+            ``(received, impulse_responses, noise_variances)`` with shapes
+            ``(batch, num_samples + L - 1)``, ``(batch, L)`` and ``(batch,)``.
+        """
+        sig = np.asarray(signals, dtype=np.complex128)
+        if sig.ndim != 2:
+            raise ValueError(f"expected a 2-D signal matrix, got shape {sig.shape}")
+        batch, num_samples = sig.shape
+        snr_arr = np.broadcast_to(np.asarray(snr_dbs, dtype=np.float64), (batch,))
+        if len(rngs) != batch:
+            raise ValueError(f"expected {batch} rngs, got {len(rngs)}")
+        if impulse_responses is not None:
+            responses = np.stack(
+                [np.asarray(h, dtype=np.complex128).reshape(-1) for h in impulse_responses]
+            )
+        else:
+            responses = np.empty((batch, self.impulse_response_length), dtype=np.complex128)
+        length = responses.shape[1]
+        received = np.empty((batch, num_samples + length - 1), dtype=np.complex128)
+        noise_variances = np.empty(batch, dtype=np.float64)
+        if mean_signal_powers is None:
+            mean_signal_powers = self.mean_signal_powers(sig)
+        for i in range(batch):
+            generator = as_rng(rngs[i])
+            if impulse_responses is None:
+                responses[i] = self.realize(generator)
+            h = responses[i]
+            convolved = np.convolve(sig[i], h)
+            signal_power = float(mean_signal_powers[i]) * float(np.sum(np.abs(h) ** 2))
+            noise_variance = signal_power / (10.0 ** (float(snr_arr[i]) / 10.0))
+            noise_variances[i] = noise_variance
+            np.add(
+                convolved,
+                awgn_noise(convolved.shape, noise_variance, generator),
+                out=received[i],
+            )
+        return received, responses, noise_variances

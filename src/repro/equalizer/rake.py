@@ -70,3 +70,58 @@ class RakeReceiver:
         symbols = combined / total_gain
         effective_noise_variance = float(noise_variance) / total_gain
         return symbols, effective_noise_variance
+
+    def combine_batch(
+        self,
+        received: np.ndarray,
+        impulse_responses: np.ndarray,
+        noise_variances: np.ndarray,
+        num_symbols: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-wise :meth:`combine` for a batch of packets.
+
+        Finger selection stays per packet (the order is a per-realisation
+        power sort), but when every packet selects the same finger *count* —
+        the generic case for a fixed delay profile — the per-finger
+        accumulation runs across the whole batch in the serial finger order,
+        which keeps the floating-point accumulation bit-identical.
+
+        Returns
+        -------
+        tuple
+            ``(symbols, effective_noise_variance)`` with shapes
+            ``(batch, num_symbols)`` and ``(batch,)``.
+        """
+        r2d = np.asarray(received, dtype=np.complex128)
+        h2d = np.asarray(impulse_responses, dtype=np.complex128)
+        if r2d.ndim != 2 or h2d.ndim != 2 or r2d.shape[0] != h2d.shape[0]:
+            raise ValueError("received and impulse_responses must be matching 2-D batches")
+        nv = np.asarray(noise_variances, dtype=np.float64).reshape(-1)
+        batch = r2d.shape[0]
+        delay_rows = [self.finger_delays(h2d[i]) for i in range(batch)]
+        num_fingers = {d.size for d in delay_rows}
+        if len(num_fingers) != 1 or 0 in num_fingers:
+            # Ragged or empty finger sets (zero taps) — fall back per packet.
+            symbols = np.empty((batch, num_symbols), dtype=np.complex128)
+            effective = np.empty(batch, dtype=np.float64)
+            for i in range(batch):
+                symbols[i], effective[i] = self.combine(
+                    r2d[i], h2d[i], float(nv[i]), num_symbols
+                )
+            return symbols, effective
+        delays = np.stack(delay_rows)
+        rows = np.arange(batch)
+        finger_gains = h2d[rows[:, None], delays]  # (batch, fingers), finger order
+        total_gain = np.sum(np.abs(finger_gains) ** 2, axis=1)
+        combined = np.zeros((batch, num_symbols), dtype=np.complex128)
+        sample_range = np.arange(num_symbols)
+        for k in range(delays.shape[1]):
+            cols = delays[:, k][:, None] + sample_range[None, :]
+            valid = cols < r2d.shape[1]
+            segment = np.where(
+                valid, r2d[rows[:, None], np.minimum(cols, r2d.shape[1] - 1)], 0.0
+            )
+            combined += np.conj(finger_gains[:, k])[:, None] * segment
+        symbols = combined / total_gain[:, None]
+        effective_noise = nv / total_gain
+        return symbols, effective_noise

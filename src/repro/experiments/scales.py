@@ -49,6 +49,14 @@ class Scale:
 
         ``None``-valued overrides mean "keep the default", so drivers can
         forward optional keywords (e.g. ``decoder_backend``) unconditionally.
+
+        The LLR dtype default is scale-dependent: the smoke scale pins
+        ``float64`` (its results are the byte-level golden/identity
+        reference), while the larger scales default to ``float32`` — the
+        BLER characterisation (``repro bench front-end --bler``) shows the
+        single-precision front end is statistically indistinguishable, and
+        it halves the LLR bandwidth of the dominant Monte-Carlo runs.  An
+        explicit ``llr_dtype`` override always wins.
         """
         config = LinkConfig(
             payload_bits=self.payload_bits,
@@ -56,6 +64,8 @@ class Scale:
             turbo_iterations=self.turbo_iterations,
         )
         overrides = {key: value for key, value in overrides.items() if value is not None}
+        if "llr_dtype" not in overrides and self.name != "smoke":
+            overrides["llr_dtype"] = "float32"
         if overrides:
             config = config.with_updates(**overrides)
         return config

@@ -227,6 +227,18 @@ class TransmissionSoftBuffer:
         """How many transmissions are currently buffered."""
         return sum(self._occupied)
 
+    def slot_occupied(self, slot: int) -> bool:
+        """Whether *slot* currently holds a transmission."""
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(f"slot must be in [0, {self.num_slots})")
+        return bool(self._occupied[slot])
+
+    def slot_redundancy_version(self, slot: int) -> int:
+        """Redundancy version stored in *slot* (which must be occupied)."""
+        if not self._occupied[slot]:
+            raise ValueError(f"slot {slot} is empty")
+        return int(self._slot_redundancy_versions[slot])
+
     # ------------------------------------------------------------------ #
     def store_transmission(
         self, slot: int, llrs: np.ndarray, redundancy_version: int

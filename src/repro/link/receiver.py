@@ -119,6 +119,97 @@ class Receiver:
         return self.transmitter.rate_matcher.derate_match(deinterleaved, redundancy_version)
 
     # ------------------------------------------------------------------ #
+    def equalize_batch(
+        self,
+        received: np.ndarray,
+        impulse_responses: np.ndarray,
+        noise_variances: np.ndarray,
+        fading_gains: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-wise :meth:`equalize` across a batch of packets.
+
+        Returns ``(symbols, effective_noise)`` where *symbols* is
+        ``(batch, num_symbols)`` and *effective_noise* is per-packet
+        ``(batch,)`` or per-symbol ``(batch, num_symbols)`` when fading
+        compensation (or chip-rate despreading of a faded packet) makes the
+        noise variance sample-dependent.
+        """
+        num_samples = self.config.symbols_per_transmission
+        if self.spreader is not None:
+            num_samples *= self.spreader.spreading_factor
+        r2d = np.asarray(received, dtype=np.complex128)
+        if r2d.ndim != 2:
+            raise ValueError(f"expected a 2-D received matrix, got shape {r2d.shape}")
+        nv = np.asarray(noise_variances, dtype=np.float64).reshape(-1)
+        if self.use_rake:
+            symbols, effective_noise = self.rake.combine_batch(
+                r2d, impulse_responses, nv, num_samples
+            )
+        else:
+            symbols, effective_noise = self.equalizer.equalize_batch(
+                r2d, impulse_responses, nv, num_samples
+            )
+        if fading_gains is not None:
+            gains = np.asarray(fading_gains, dtype=np.complex128)
+            if gains.shape != symbols.shape:
+                raise ValueError(
+                    f"fading_gains shape {gains.shape} does not match "
+                    f"recovered sample matrix {symbols.shape}"
+                )
+            gain_power = np.maximum(np.abs(gains) ** 2, 1e-30)
+            symbols = symbols * np.conj(gains) / gain_power
+            effective_noise = effective_noise[:, None] / gain_power
+        if self.spreader is not None:
+            symbols = self.spreader.despread_batch(symbols)
+            sf = self.spreader.spreading_factor
+            if effective_noise.ndim == 2:
+                effective_noise = (
+                    effective_noise.reshape(effective_noise.shape[0], -1, sf).mean(axis=2)
+                    / sf
+                )
+            else:
+                effective_noise = effective_noise / sf
+        return symbols, effective_noise
+
+    def demap_batch(
+        self, symbols: np.ndarray, effective_noise_variances: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`demap` — one flattened soft-demapping pass.
+
+        The max-log demapper is elementwise per symbol, so demapping the
+        flattened batch and reshaping is bit-identical to demapping each row
+        with its own noise variance.
+        """
+        sym = np.asarray(symbols, dtype=np.complex128)
+        if sym.ndim != 2:
+            raise ValueError(f"expected a 2-D symbol matrix, got shape {sym.shape}")
+        noise = np.asarray(effective_noise_variances, dtype=np.float64)
+        if noise.ndim == 1:
+            noise = np.broadcast_to(noise[:, None], sym.shape)
+        elif noise.shape != sym.shape:
+            raise ValueError(
+                f"noise variance shape {noise.shape} does not match symbols {sym.shape}"
+            )
+        flat = self.config.modulator.demodulate_soft(
+            sym.reshape(-1), np.ascontiguousarray(noise).reshape(-1)
+        )
+        llrs = flat.reshape(sym.shape[0], -1)
+        llrs = llrs[:, : self.config.channel_bits_per_transmission]
+        dtype = self.config.llr_numpy_dtype
+        if llrs.dtype != dtype:
+            llrs = llrs.astype(dtype)
+        return llrs
+
+    def to_mother_domain_batch(
+        self, channel_llrs: np.ndarray, redundancy_version: int
+    ) -> np.ndarray:
+        """Batched :meth:`to_mother_domain` (gather + scatter per batch)."""
+        deinterleaved = self.transmitter.channel_interleaver.deinterleave_batch(channel_llrs)
+        return self.transmitter.rate_matcher.derate_match_batch(
+            deinterleaved, redundancy_version
+        )
+
+    # ------------------------------------------------------------------ #
     def front_end(
         self,
         received: np.ndarray,
@@ -153,6 +244,33 @@ class Receiver:
         )
         return self.to_mother_domain(channel_llrs, redundancy_version)
 
+    def front_end_batch(
+        self,
+        received: np.ndarray,
+        impulse_responses: np.ndarray,
+        noise_variances: np.ndarray,
+        fading_gains: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched :meth:`front_end`: equalize and demap a whole round."""
+        symbols, effective_noise = self.equalize_batch(
+            received, impulse_responses, noise_variances, fading_gains=fading_gains
+        )
+        return self.demap_batch(symbols, effective_noise)
+
+    def process_transmission_batch(
+        self,
+        received: np.ndarray,
+        impulse_responses: np.ndarray,
+        noise_variances: np.ndarray,
+        redundancy_version: int,
+        fading_gains: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched :meth:`process_transmission` for one HARQ round."""
+        channel_llrs = self.front_end_batch(
+            received, impulse_responses, noise_variances, fading_gains=fading_gains
+        )
+        return self.to_mother_domain_batch(channel_llrs, redundancy_version)
+
     def decode(self, combined_mother_llrs: np.ndarray):
         """Turbo-decode combined LLRs and check the CRC.
 
@@ -186,7 +304,5 @@ class Receiver:
         """
         result = self.transmitter.turbo.decode_buffer(combined_rows)
         decoded = result.decoded_bits
-        crc_ok = np.fromiter(
-            (self.config.crc.check(row) for row in decoded), dtype=bool, count=len(decoded)
-        )
+        crc_ok = self.config.crc.check_batch(np.asarray(decoded))
         return decoded, crc_ok, result

@@ -38,6 +38,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.channel.fading import jakes_gains_batch
 from repro.channel.multipath import MultipathChannel
 from repro.harq.buffer import LlrSoftBuffer, TransmissionSoftBuffer
 from repro.harq.controller import HarqPacketResult
@@ -219,67 +220,131 @@ class HspaLikeLink:
             payloads = [self.transmitter.random_payload(r) for r in packet_rngs]
         elif len(payloads) != num_packets:
             raise ValueError(f"expected {num_packets} payloads, got {len(payloads)}")
+        packets = self.transmitter.encode_batch(payloads)
         states = []
-        for index, (packet_rng, payload) in enumerate(zip(packet_rngs, payloads)):
+        for index, packet_rng in enumerate(packet_rngs):
             soft_buffer = factory(index)
             soft_buffer.clear()
             states.append(
                 _PacketState(
                     rng=packet_rng,
-                    packet=self.transmitter.encode(payload),
+                    packet=packets[index],
                     buffer=soft_buffer,
                     snr_db=float(group.snr_db),
                 )
             )
         return states
 
-    def _front_end_step(
-        self, state: _PacketState, transmission_index: int, redundancy_version: int
+    def _front_end_round(
+        self,
+        states: Sequence[_PacketState],
+        transmission_index: int,
+        redundancy_version: int,
     ) -> np.ndarray:
-        """Run one packet's (re)transmission through channel and front end.
+        """Run one HARQ round's (re)transmissions through channel and front end.
 
-        Returns the combined mother-domain LLRs ready for decoding.
+        The whole active set is processed as a ``(num_packets, ...)`` batch:
+        one vectorised transmit pass, one channel pass with per-packet
+        generators, one stacked equalize/demap pass.  Every per-packet random
+        draw comes from that packet's own stream in exactly the serial order
+        (Jakes realisation, then channel realisation, then noise), so a round
+        of N packets is byte-identical to N serial rounds — the serial path
+        *is* a batch of one.
 
-        In the intra-packet fading mode each (re)transmission draws an
-        independent Jakes realisation (block fading across HARQ attempts,
-        time-correlated within one packet) from the packet's own stream; the
-        noise power is derived from the *unfaded* transmit power so a deep
-        fade lowers the instantaneous SNR instead of being renormalised
-        away.  Block-fading mode consumes no extra random draws, keeping
-        seeded streams identical to the historical model.
+        Returns the combined mother-domain LLR matrix ready for decoding,
+        already in the configured LLR dtype.
         """
-        samples = self.transmitter.transmit(state.packet, redundancy_version)
+        samples = self.transmitter.transmit_batch(
+            [state.packet for state in states], redundancy_version
+        )
         fading_gains = None
-        mean_signal_power = None
+        mean_signal_powers = None
         if self.fading_process is not None:
-            mean_signal_power = float(np.mean(np.abs(samples) ** 2))
-            realization = self.fading_process.realization(state.rng)
-            fading_gains = realization.gains(0, samples.size)
+            mean_signal_powers = self.channel.mean_signal_powers(samples)
+            realizations = [
+                self.fading_process.realization(state.rng) for state in states
+            ]
+            fading_gains = jakes_gains_batch(realizations, 0, samples.shape[1])
             samples = samples * fading_gains
-        received, impulse_response, noise_variance = self.channel.apply(
-            samples, state.snr_db, state.rng, mean_signal_power=mean_signal_power
+        received, impulse_responses, noise_variances = self.channel.apply_batch(
+            samples,
+            [state.snr_db for state in states],
+            [state.rng for state in states],
+            mean_signal_powers=mean_signal_powers,
         )
         if self.config.buffer_architecture == "per-transmission":
-            channel_llrs = self.receiver.front_end(
-                received, impulse_response, noise_variance, fading_gains=fading_gains
+            channel_llrs = self.receiver.front_end_batch(
+                received, impulse_responses, noise_variances, fading_gains=fading_gains
             )
-            state.buffer.store_transmission(
-                transmission_index, channel_llrs, redundancy_version
-            )
-            combined = state.buffer.combined_mother_llrs(self.receiver.to_mother_domain)
+            for row, state in enumerate(states):
+                state.buffer.store_transmission(
+                    transmission_index, channel_llrs[row], redundancy_version
+                )
+            combined = self._combined_mother_rows(states)
         else:
-            mother_llrs = self.receiver.process_transmission(
+            mother_llrs = self.receiver.process_transmission_batch(
                 received,
-                impulse_response,
-                noise_variance,
+                impulse_responses,
+                noise_variances,
                 redundancy_version,
                 fading_gains=fading_gains,
             )
-            combined = state.buffer.combine_and_store(mother_llrs)
-        state.transmissions += 1
+            combined = np.stack(
+                [
+                    state.buffer.combine_and_store(mother_llrs[row])
+                    for row, state in enumerate(states)
+                ]
+            )
+        for state in states:
+            state.transmissions += 1
         dtype = self.config.llr_numpy_dtype
         if combined.dtype != dtype:
             combined = combined.astype(dtype)
+        return combined
+
+    def _combined_mother_rows(self, states: Sequence[_PacketState]) -> np.ndarray:
+        """Batched HARQ read-combine across the per-transmission buffers.
+
+        Mirrors :meth:`TransmissionSoftBuffer.combined_mother_llrs` exactly:
+        slots are visited in ascending order (each buffer's transient-upset
+        stream advances in the serial read order) and each packet's mother
+        rows accumulate in ascending-slot order, so every row is
+        bit-identical to the per-packet loop.  Rows with the same stored
+        redundancy version share one de-interleave / de-rate-match gather.
+        """
+        batch = len(states)
+        combined = np.empty((batch, self.config.num_coded_bits), dtype=np.float64)
+        seen = np.zeros(batch, dtype=bool)
+        for slot in range(self.config.max_transmissions):
+            rows = [
+                index
+                for index, state in enumerate(states)
+                if state.buffer.slot_occupied(slot)
+            ]
+            if not rows:
+                continue
+            loaded = []
+            versions = []
+            for index in rows:
+                llrs, redundancy_version = states[index].buffer.load_transmission(slot)
+                loaded.append(llrs)
+                versions.append(redundancy_version)
+            stacked = np.stack(loaded)
+            mother = np.empty((len(rows), self.config.num_coded_bits), dtype=np.float64)
+            for version in dict.fromkeys(versions):
+                selector = [j for j, rv in enumerate(versions) if rv == version]
+                mother[selector] = self.receiver.to_mother_domain_batch(
+                    stacked[selector], version
+                )
+            row_indices = np.asarray(rows)
+            first = ~seen[row_indices]
+            if first.any():
+                combined[row_indices[first]] = mother[first]
+                seen[row_indices[first]] = True
+            if (~first).any():
+                combined[row_indices[~first]] += mother[~first]
+        if not seen.all():
+            raise ValueError("no transmissions stored yet")
         return combined
 
     def _finish_group(self, states: Sequence[_PacketState], snr_db: float) -> LinkSimulationResult:
@@ -358,17 +423,14 @@ def simulate_packet_groups(
         if not active:
             break
         redundancy_version = link.config.combining.redundancy_version(transmission_index)
-        combined_rows = [
-            link._front_end_step(
-                states_per_group[group_index][packet_index],
-                transmission_index,
-                redundancy_version,
-            )
+        active_states = [
+            states_per_group[group_index][packet_index]
             for group_index, packet_index in active
         ]
-        decoded_blocks, crc_ok, _result = link.receiver.decode_batch(
-            np.stack(combined_rows)
+        combined_rows = link._front_end_round(
+            active_states, transmission_index, redundancy_version
         )
+        decoded_blocks, crc_ok, _result = link.receiver.decode_batch(combined_rows)
         payload_bits = link.config.payload_bits
         for row_index, (group_index, packet_index) in enumerate(active):
             state = states_per_group[group_index][packet_index]

@@ -81,6 +81,44 @@ class Transmitter:
         coded = self.turbo.encode(with_crc)
         return EncodedPacket(payload=bits, payload_with_crc=with_crc, coded_buffer=coded)
 
+    def encode_batch(self, payloads) -> list[EncodedPacket]:
+        """CRC-attach and turbo-encode a batch of payloads in one pass.
+
+        Produces exactly the packets of ``[self.encode(p) for p in payloads]``
+        (the CRC and encoder batch kernels are bit-exact), but runs the CRC as
+        one GF(2) matrix product and the trellises column-wise across the
+        whole batch.
+        """
+        rows = []
+        for payload in payloads:
+            bits = np.asarray(payload)
+            if bits.ndim != 1:
+                raise ValueError(
+                    f"payload must be one-dimensional, got shape {bits.shape}"
+                )
+            if bits.size != self.config.payload_bits:
+                raise ValueError(
+                    f"expected {self.config.payload_bits} payload bits, got {bits.size}"
+                )
+            rows.append(bits)
+        if not rows:
+            return []
+        stacked = np.stack(rows)
+        if not ((stacked == 0) | (stacked == 1)).all():
+            raise ValueError("payload must contain only 0s and 1s")
+        stacked = stacked.astype(np.int8)
+        rows = [stacked[i] for i in range(stacked.shape[0])]
+        with_crc = self.config.crc.attach_batch(stacked)
+        coded = self.turbo.encode_batch(with_crc)
+        return [
+            EncodedPacket(
+                payload=rows[i],
+                payload_with_crc=with_crc[i],
+                coded_buffer=coded[i],
+            )
+            for i in range(len(rows))
+        ]
+
     # ------------------------------------------------------------------ #
     def transmission_bits(self, packet: EncodedPacket, redundancy_version: int) -> np.ndarray:
         """Rate-matched and channel-interleaved bits of one transmission."""
@@ -101,3 +139,36 @@ class Transmitter:
     ) -> np.ndarray:
         """Produce the transmit samples of one (re)transmission."""
         return self.modulate(self.transmission_bits(packet, redundancy_version))
+
+    # ------------------------------------------------------------------ #
+    def transmission_bits_batch(
+        self, packets: list[EncodedPacket], redundancy_version: int
+    ) -> np.ndarray:
+        """Batched :meth:`transmission_bits` — one gather per stage."""
+        coded = np.stack([p.coded_buffer for p in packets])
+        selected = self.rate_matcher.rate_match_batch(coded, redundancy_version)
+        return self.channel_interleaver.interleave_batch(selected)
+
+    def modulate_batch(self, channel_bits: np.ndarray) -> np.ndarray:
+        """Batched :meth:`modulate` for a ``(batch, num_bits)`` bit matrix.
+
+        The QAM mapper is elementwise over bit groups, so mapping the
+        flattened batch and reshaping is bit-identical to mapping each row.
+        """
+        bits = np.asarray(channel_bits)
+        if bits.ndim != 2:
+            raise ValueError(f"expected a 2-D bit matrix, got shape {bits.shape}")
+        batch = bits.shape[0]
+        symbols = self.config.modulator.modulate(bits.reshape(-1))
+        symbols = symbols.reshape(batch, -1)
+        if self.spreader is not None:
+            symbols = self.spreader.spread_batch(symbols)
+        if self.pulse_shaper is not None:
+            symbols = np.stack([self.pulse_shaper.shape(row) for row in symbols])
+        return symbols
+
+    def transmit_batch(
+        self, packets: list[EncodedPacket], redundancy_version: int
+    ) -> np.ndarray:
+        """Produce the transmit sample matrix of one batched (re)transmission."""
+        return self.modulate_batch(self.transmission_bits_batch(packets, redundancy_version))

@@ -60,6 +60,22 @@ class Interleaver:
         out[self.permutation] = arr
         return out
 
+    def interleave_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`interleave` for a ``(batch, size)`` matrix."""
+        arr = np.asarray(rows)
+        if arr.ndim != 2 or arr.shape[1] != self.size:
+            raise ValueError(f"expected shape (batch, {self.size}), got {arr.shape}")
+        return arr[:, self.permutation]
+
+    def deinterleave_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`deinterleave` for a ``(batch, size)`` matrix."""
+        arr = np.asarray(rows)
+        if arr.ndim != 2 or arr.shape[1] != self.size:
+            raise ValueError(f"expected shape (batch, {self.size}), got {arr.shape}")
+        out = np.empty_like(arr)
+        out[:, self.permutation] = arr
+        return out
+
     @property
     def inverse(self) -> "Interleaver":
         """The inverse permutation as an :class:`Interleaver`."""
@@ -131,3 +147,13 @@ class ChannelInterleaver:
     def deinterleave(self, sequence: np.ndarray) -> np.ndarray:
         """Invert :meth:`interleave` for a sequence of the same length."""
         return self.for_length(np.asarray(sequence).shape[0]).deinterleave(sequence)
+
+    def interleave_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`interleave` for a ``(batch, length)`` matrix."""
+        arr = np.asarray(rows)
+        return self.for_length(arr.shape[1]).interleave_batch(arr)
+
+    def deinterleave_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`deinterleave` for a ``(batch, length)`` matrix."""
+        arr = np.asarray(rows)
+        return self.for_length(arr.shape[1]).deinterleave_batch(arr)

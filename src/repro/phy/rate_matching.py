@@ -47,6 +47,7 @@ class RateMatcher:
         ensure_positive_int(self.num_coded_bits, "num_coded_bits")
         ensure_positive_int(self.num_output_bits, "num_output_bits")
         ensure_positive_int(self.num_redundancy_versions, "num_redundancy_versions")
+        object.__setattr__(self, "_indices_cache", {})
 
     def _start_offset(self, redundancy_version: int) -> int:
         rv = ensure_non_negative_int(redundancy_version, "redundancy_version")
@@ -54,9 +55,18 @@ class RateMatcher:
         return (rv * self.num_coded_bits) // self.num_redundancy_versions
 
     def output_indices(self, redundancy_version: int) -> np.ndarray:
-        """Mother-code bit indices transmitted for a given redundancy version."""
+        """Mother-code bit indices transmitted for a given redundancy version.
+
+        The index vector per redundancy version is cached (read-only view),
+        since the batched transmit/derate paths gather with it every round.
+        """
         start = self._start_offset(redundancy_version)
-        return (start + np.arange(self.num_output_bits)) % self.num_coded_bits
+        cached = self._indices_cache.get(start)
+        if cached is None:
+            cached = (start + np.arange(self.num_output_bits)) % self.num_coded_bits
+            cached.setflags(write=False)
+            self._indices_cache[start] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # transmitter side
@@ -73,6 +83,17 @@ class RateMatcher:
                 f"expected {self.num_coded_bits} coded bits, got {bits.shape[0]}"
             )
         return bits[self.output_indices(redundancy_version)]
+
+    def rate_match_batch(
+        self, coded_bits: np.ndarray, redundancy_version: int = 0
+    ) -> np.ndarray:
+        """Row-wise :meth:`rate_match` for a ``(batch, num_coded_bits)`` matrix."""
+        bits = np.asarray(coded_bits)
+        if bits.ndim != 2 or bits.shape[1] != self.num_coded_bits:
+            raise ValueError(
+                f"expected shape (batch, {self.num_coded_bits}), got {bits.shape}"
+            )
+        return bits[:, self.output_indices(redundancy_version)]
 
     # ------------------------------------------------------------------ #
     # receiver side
@@ -97,6 +118,30 @@ class RateMatcher:
             )
         buffer = np.zeros(self.num_coded_bits, dtype=np.float64)
         np.add.at(buffer, self.output_indices(redundancy_version), llr_arr)
+        return buffer
+
+    def derate_match_batch(
+        self, llrs: np.ndarray, redundancy_version: int = 0
+    ) -> np.ndarray:
+        """Row-wise :meth:`derate_match` for a ``(batch, num_output_bits)`` matrix.
+
+        Without repetition (``num_output_bits <= num_coded_bits``) the scatter
+        is a plain assignment; with repetition ``np.add.at`` iterates row-major
+        — per row in index order, exactly the serial accumulation order.
+        """
+        llr_arr = np.asarray(llrs, dtype=np.float64)
+        if llr_arr.ndim != 2 or llr_arr.shape[1] != self.num_output_bits:
+            raise ValueError(
+                f"expected shape (batch, {self.num_output_bits}), got {llr_arr.shape}"
+            )
+        indices = self.output_indices(redundancy_version)
+        buffer = np.zeros((llr_arr.shape[0], self.num_coded_bits), dtype=np.float64)
+        if self.num_output_bits <= self.num_coded_bits:
+            buffer[:, indices] = llr_arr
+            buffer += 0.0  # fold any -0.0 like the serial 0.0 + x scatter does
+        else:
+            rows = np.arange(llr_arr.shape[0])
+            np.add.at(buffer, (rows[:, None], indices[None, :]), llr_arr)
         return buffer
 
     # ------------------------------------------------------------------ #
@@ -138,6 +183,23 @@ def make_systematic_priority_buffer(
     interlaced[0::2] = p1
     interlaced[1::2] = p2
     return np.concatenate([sys_arr, interlaced])
+
+
+def make_systematic_priority_buffer_batch(
+    systematic: np.ndarray, parity1: np.ndarray, parity2: np.ndarray
+) -> np.ndarray:
+    """Whole-batch :func:`make_systematic_priority_buffer` (rows = blocks)."""
+    sys_arr = np.asarray(systematic)
+    p1 = np.asarray(parity1)
+    p2 = np.asarray(parity2)
+    if sys_arr.ndim != 2 or sys_arr.shape != p1.shape or sys_arr.shape != p2.shape:
+        raise ValueError("systematic and parity batches must share a 2-D shape")
+    batch, block = sys_arr.shape
+    out = np.empty((batch, 3 * block), dtype=sys_arr.dtype)
+    out[:, :block] = sys_arr
+    out[:, block::2] = p1
+    out[:, block + 1 :: 2] = p2
+    return out
 
 
 def split_systematic_priority_buffer(

@@ -102,6 +102,38 @@ class Spreader:
         scramble = scrambling_sequence(chips.size, self.scrambling_seed)
         return chips * scramble
 
+    def spread_batch(self, symbols: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`spread` for a ``(batch, num_symbols)`` matrix.
+
+        Every packet sees the same cell-specific scrambling sequence (it is a
+        pure function of the seed and the chip count), so the batched form
+        tiles one sequence across the rows — bit-identical to spreading each
+        row alone.
+        """
+        syms = np.asarray(symbols, dtype=np.complex128)
+        if syms.ndim != 2:
+            raise ValueError(f"expected a 2-D symbol matrix, got shape {syms.shape}")
+        batch = syms.shape[0]
+        chips = (syms[:, :, None] * self.code[None, None, :]).reshape(batch, -1)
+        scramble = scrambling_sequence(chips.shape[1], self.scrambling_seed)
+        return chips * scramble[None, :]
+
+    def despread_batch(self, chips: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`despread` for a ``(batch, num_chips)`` matrix."""
+        chip_arr = np.asarray(chips, dtype=np.complex128)
+        if chip_arr.ndim != 2:
+            raise ValueError(f"expected a 2-D chip matrix, got shape {chip_arr.shape}")
+        batch, num_chips = chip_arr.shape
+        sf = self.spreading_factor
+        if num_chips % sf:
+            raise ValueError(
+                f"chip count {num_chips} is not a multiple of the spreading factor {sf}"
+            )
+        scramble = scrambling_sequence(num_chips, self.scrambling_seed)
+        descrambled = chip_arr * np.conj(scramble)[None, :]
+        mat = descrambled.reshape(-1, sf)
+        return (mat @ self.code / sf).reshape(batch, -1)
+
     def despread(self, chips: np.ndarray) -> np.ndarray:
         """Descramble and despread chips back to symbol estimates.
 

@@ -65,6 +65,10 @@ class TurboCode:
         """Encode information bits into the circular-buffer ordered sequence."""
         return self.encoder.encode(bits)
 
+    def encode_batch(self, bits: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`encode` for a ``(batch, block_size)`` bit matrix."""
+        return self.encoder.encode_batch(bits)
+
     def decode_buffer(self, buffer_llrs: np.ndarray) -> TurboDecoderResult:
         """Decode LLRs arranged in the circular-buffer order.
 

@@ -69,6 +69,20 @@ class TurboEncoder:
         parity2, _ = self.trellis.encode_bits(interleaved)
         return info.copy(), parity1, parity2
 
+    def encode_streams_batch(
+        self, bits: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row-wise :meth:`encode_streams` for a ``(batch, block_size)`` matrix."""
+        info = np.asarray(bits, dtype=np.int8)
+        if info.ndim != 2 or info.shape[1] != self.block_size:
+            raise ValueError(
+                f"expected shape (batch, {self.block_size}), got {info.shape}"
+            )
+        parity1, _ = self.trellis.encode_bits_batch(info)
+        interleaved = info[:, self.interleaver.permutation]
+        parity2, _ = self.trellis.encode_bits_batch(interleaved)
+        return info.copy(), parity1, parity2
+
     def encode(self, bits: np.ndarray) -> np.ndarray:
         """Encode *bits* into the multiplexed coded sequence.
 
@@ -80,3 +94,10 @@ class TurboEncoder:
 
         systematic, parity1, parity2 = self.encode_streams(bits)
         return make_systematic_priority_buffer(systematic, parity1, parity2)
+
+    def encode_batch(self, bits: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`encode` for a ``(batch, block_size)`` bit matrix."""
+        from repro.phy.rate_matching import make_systematic_priority_buffer_batch
+
+        systematic, parity1, parity2 = self.encode_streams_batch(bits)
+        return make_systematic_priority_buffer_batch(systematic, parity1, parity2)

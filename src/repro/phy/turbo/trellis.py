@@ -130,6 +130,28 @@ class RscTrellis:
             state = int(self.next_state[state, u])
         return out, state
 
+    def encode_bits_batch(
+        self, bits: np.ndarray, initial_state: int = 0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-wise :meth:`encode_bits` for a ``(batch, length)`` bit matrix.
+
+        The shift-register recursion is exact integer table lookup, so the
+        vectorised per-column sweep is bit-identical to encoding each row
+        alone; returns ``(parity_matrix, final_states)``.
+        """
+        info = np.asarray(bits, dtype=np.int64)
+        if info.ndim != 2:
+            raise ValueError(f"expected a 2-D bit matrix, got shape {info.shape}")
+        batch, length = info.shape
+        state = np.full(batch, int(initial_state), dtype=np.int64)
+        out = np.empty((batch, length), dtype=np.int8)
+        parity, next_state = self.parity, self.next_state
+        for i in range(length):
+            u = info[:, i]
+            out[:, i] = parity[state, u]
+            state = next_state[state, u]
+        return out, state
+
 
 #: The UMTS / HSPA constituent-code trellis (octal generators 13 / 15).
 UMTS_TRELLIS = RscTrellis()

@@ -1,0 +1,344 @@
+"""Byte-identity property tests for the batched link front end.
+
+The front end's batch axis is a pure throughput optimisation: every batched
+kernel (CRC, turbo encode, rate matching, interleaving, spreading, channel,
+both equalizers, demapping) must produce byte-identical results to its
+serial counterpart, and pooling packets into wider front-end rounds must not
+change any packet's outcome.  These tests pin that contract with hypothesis
+sweeps over batch sizes and compositions, plus a cross-check against the
+verbatim pre-batching serial front end preserved in ``repro.runner.bench``.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.fading import JakesFadingProcess, jakes_gains_batch
+from repro.channel.multipath import ITU_PEDESTRIAN_A, MultipathChannel
+from repro.equalizer.mmse import MmseEqualizer
+from repro.equalizer.rake import RakeReceiver
+from repro.link import HspaLikeLink, LinkConfig
+from repro.link.system import PacketGroup, simulate_packet_groups
+from repro.phy.crc import CRC_16
+from repro.phy.interleaving import random_interleaver
+from repro.phy.rate_matching import RateMatcher
+from repro.phy.spreading import Spreader
+from repro.phy.turbo import TurboCode
+from repro.runner.bench import (
+    _batched_front_end_pass,
+    _prepare_inputs,
+    _seed_front_end_pass,
+)
+
+BATCHES = st.integers(min_value=1, max_value=7)
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+# --------------------------------------------------------------------------- #
+# bit-domain kernels
+# --------------------------------------------------------------------------- #
+class TestBitKernels:
+    @given(batch=BATCHES, seed=SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_crc_batch_matches_serial(self, batch, seed):
+        crc = CRC_16
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (batch, 40), dtype=np.int8)
+        attached = crc.attach_batch(data)
+        for row in range(batch):
+            expected = crc.attach(data[row])
+            assert attached[row].tobytes() == expected.tobytes()
+            assert bool(crc.check_batch(attached[row : row + 1])[0]) == bool(
+                crc.check(attached[row])
+            )
+        corrupted = attached.copy()
+        corrupted[:, 3] ^= 1
+        for row in range(batch):
+            assert bool(crc.check_batch(corrupted[row : row + 1])[0]) == bool(
+                crc.check(corrupted[row])
+            )
+
+    @given(batch=BATCHES, seed=SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_turbo_encode_batch_matches_serial(self, batch, seed):
+        code = TurboCode(40)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, (batch, 40), dtype=np.int8)
+        encoded = code.encode_batch(data)
+        for row in range(batch):
+            assert encoded[row].tobytes() == code.encode(data[row]).tobytes()
+
+    @given(batch=BATCHES, seed=SEEDS, rv=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_rate_matching_batch_matches_serial(self, batch, seed, rv):
+        rng = np.random.default_rng(seed)
+        for num_output in (30, 72):  # puncturing and repetition regimes
+            matcher = RateMatcher(num_coded_bits=48, num_output_bits=num_output)
+            bits = rng.integers(0, 2, (batch, 48), dtype=np.int8)
+            selected = matcher.rate_match_batch(bits, rv)
+            llrs = rng.normal(0.0, 2.0, (batch, num_output))
+            # Include negative zeros: the serial scatter folds them to +0.0.
+            llrs[:, 0] = -0.0
+            combined = matcher.derate_match_batch(llrs, rv)
+            for row in range(batch):
+                assert (
+                    selected[row].tobytes()
+                    == matcher.rate_match(bits[row], rv).tobytes()
+                )
+                assert (
+                    combined[row].tobytes()
+                    == matcher.derate_match(llrs[row], rv).tobytes()
+                )
+
+    @given(batch=BATCHES, seed=SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_interleaver_batch_matches_serial(self, batch, seed):
+        interleaver = random_interleaver(36, seed=seed)
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0.0, 1.0, (batch, 36))
+        forward = interleaver.interleave_batch(values)
+        backward = interleaver.deinterleave_batch(values)
+        for row in range(batch):
+            assert forward[row].tobytes() == interleaver.interleave(values[row]).tobytes()
+            assert (
+                backward[row].tobytes() == interleaver.deinterleave(values[row]).tobytes()
+            )
+
+
+# --------------------------------------------------------------------------- #
+# sample-domain kernels
+# --------------------------------------------------------------------------- #
+class TestSampleKernels:
+    @given(batch=BATCHES, seed=SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_spreader_batch_matches_serial(self, batch, seed):
+        spreader = Spreader(spreading_factor=4, code_index=1)
+        rng = np.random.default_rng(seed)
+        symbols = rng.normal(size=(batch, 12)) + 1j * rng.normal(size=(batch, 12))
+        chips = spreader.spread_batch(symbols)
+        recovered = spreader.despread_batch(chips)
+        for row in range(batch):
+            assert chips[row].tobytes() == spreader.spread(symbols[row]).tobytes()
+            assert (
+                recovered[row].tobytes() == spreader.despread(chips[row]).tobytes()
+            )
+
+    @given(batch=BATCHES, seed=SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_channel_batch_matches_serial(self, batch, seed):
+        channel = MultipathChannel(ITU_PEDESTRIAN_A, 260.417)
+        rng = np.random.default_rng(seed)
+        signals = rng.normal(size=(batch, 48)) + 1j * rng.normal(size=(batch, 48))
+        snrs = rng.uniform(5.0, 25.0, batch)
+        received, responses, variances = channel.apply_batch(
+            signals,
+            snrs,
+            [np.random.default_rng(seed + 1 + i) for i in range(batch)],
+        )
+        serial = MultipathChannel(ITU_PEDESTRIAN_A, 260.417)
+        for row in range(batch):
+            r, h, nv = serial.apply(
+                signals[row], float(snrs[row]), np.random.default_rng(seed + 1 + row)
+            )
+            assert received[row].tobytes() == r.tobytes()
+            assert responses[row].tobytes() == h.tobytes()
+            assert float(variances[row]) == nv
+
+    @given(batch=BATCHES, seed=SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_jakes_batch_matches_serial(self, batch, seed):
+        process = JakesFadingProcess(doppler_hz=80.0, sample_rate_hz=1e4)
+        realizations = [
+            process.realization(np.random.default_rng(seed + i)) for i in range(batch)
+        ]
+        gains = jakes_gains_batch(realizations, 3, 25)
+        for row in range(batch):
+            assert gains[row].tobytes() == realizations[row].gains(3, 25).tobytes()
+
+    @given(batch=BATCHES, seed=SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_mmse_equalize_batch_matches_serial(self, batch, seed):
+        rng = np.random.default_rng(seed)
+        num_symbols = 20
+        channel_length = 3
+        responses = rng.normal(size=(batch, channel_length)) + 1j * rng.normal(
+            size=(batch, channel_length)
+        )
+        received = rng.normal(
+            size=(batch, num_symbols + channel_length - 1)
+        ) + 1j * rng.normal(size=(batch, num_symbols + channel_length - 1))
+        variances = rng.uniform(0.01, 1.0, batch)
+        equalizer = MmseEqualizer(num_taps=8)
+        # Two passes: the second is served from the design cache and must
+        # still match the fresh serial design exactly.
+        for _ in range(2):
+            symbols, noise = equalizer.equalize_batch(
+                received, responses, variances, num_symbols
+            )
+            serial = MmseEqualizer(num_taps=8)
+            for row in range(batch):
+                output = serial.equalize(
+                    received[row], responses[row], float(variances[row]), num_symbols
+                )
+                assert symbols[row].tobytes() == output.symbols.tobytes()
+                assert float(noise[row]) == output.effective_noise_variance
+
+    @given(batch=BATCHES, seed=SEEDS, zero_tap=st.booleans())
+    @settings(max_examples=10, deadline=None)
+    def test_rake_combine_batch_matches_serial(self, batch, seed, zero_tap):
+        rng = np.random.default_rng(seed)
+        num_symbols = 16
+        channel_length = 4
+        responses = rng.normal(size=(batch, channel_length)) + 1j * rng.normal(
+            size=(batch, channel_length)
+        )
+        if zero_tap:
+            # Ragged finger counts: first packet loses a tap, exercising the
+            # per-packet fallback.
+            responses[0, -1] = 0.0
+        received = rng.normal(
+            size=(batch, num_symbols + channel_length - 1)
+        ) + 1j * rng.normal(size=(batch, num_symbols + channel_length - 1))
+        variances = rng.uniform(0.01, 1.0, batch)
+        rake = RakeReceiver(max_fingers=3)
+        symbols, noise = rake.combine_batch(received, responses, variances, num_symbols)
+        for row in range(batch):
+            expected, expected_noise = rake.combine(
+                received[row], responses[row], float(variances[row]), num_symbols
+            )
+            assert symbols[row].tobytes() == expected.tobytes()
+            assert float(noise[row]) == expected_noise
+
+
+# --------------------------------------------------------------------------- #
+# transmitter and full-link composition
+# --------------------------------------------------------------------------- #
+class TestLinkComposition:
+    @given(batch=BATCHES, seed=SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_transmit_batch_matches_serial(self, batch, seed):
+        from repro.link.transmitter import Transmitter
+
+        config = LinkConfig(
+            payload_bits=56,
+            crc_bits=16,
+            modulation="16QAM",
+            effective_code_rate=0.6,
+            turbo_iterations=3,
+            max_transmissions=3,
+            spreading_factor=4,
+        )
+        transmitter = Transmitter(config)
+        rng = np.random.default_rng(seed)
+        payloads = [transmitter.random_payload(rng) for _ in range(batch)]
+        packets = transmitter.encode_batch(payloads)
+        for rv in (0, 1):
+            samples = transmitter.transmit_batch(packets, rv)
+            for row in range(batch):
+                expected = transmitter.transmit(transmitter.encode(payloads[row]), rv)
+                assert samples[row].tobytes() == expected.tobytes()
+
+    @given(seed=SEEDS)
+    @settings(max_examples=5, deadline=None)
+    def test_seed_serial_front_end_cross_check(self, seed):
+        """Batched front end == verbatim pre-batching serial front end."""
+        config = LinkConfig(
+            payload_bits=56,
+            crc_bits=16,
+            modulation="16QAM",
+            effective_code_rate=0.6,
+            turbo_iterations=3,
+            max_transmissions=3,
+        )
+        link = HspaLikeLink(config)
+        reference = _seed_front_end_pass(
+            link, _prepare_inputs(link, 5, 12.0, seed), 12.0
+        )
+        candidate = _batched_front_end_pass(
+            link, _prepare_inputs(link, 5, 12.0, seed), 12.0
+        )
+        assert reference.tobytes() == candidate.tobytes()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},
+            {"buffer_architecture": "combined"},
+            {"fading": "jakes:120"},
+            {"spreading_factor": 4},
+        ],
+        ids=["per-transmission", "combined", "jakes-fading", "spread"],
+    )
+    def test_group_pooling_is_result_neutral(self, overrides):
+        """Pooling groups into wider front-end rounds changes nothing.
+
+        The pooled run processes both groups' packets in shared batched
+        rounds (different batch widths than the isolated runs), so equality
+        here pins "batching is result-neutral" end to end.
+        """
+        config = LinkConfig(
+            payload_bits=56,
+            crc_bits=16,
+            modulation="16QAM",
+            effective_code_rate=0.6,
+            turbo_iterations=3,
+            max_transmissions=3,
+            **overrides,
+        )
+        link = HspaLikeLink(config)
+        groups = [
+            PacketGroup(num_packets=3, snr_db=8.0, rng=11),
+            PacketGroup(num_packets=2, snr_db=14.0, rng=22),
+        ]
+        pooled = simulate_packet_groups(link, groups)
+        isolated = [
+            HspaLikeLink(config).simulate_packets(3, 8.0, rng=11),
+            HspaLikeLink(config).simulate_packets(2, 14.0, rng=22),
+        ]
+        for pooled_result, isolated_result in zip(pooled, isolated):
+            assert (
+                pooled_result.statistics.num_successful
+                == isolated_result.statistics.num_successful
+            )
+            assert (
+                pooled_result.statistics.total_transmissions
+                == isolated_result.statistics.total_transmissions
+            )
+            for a, b in zip(
+                pooled_result.packet_results, isolated_result.packet_results
+            ):
+                assert a.success == b.success
+                assert a.num_transmissions == b.num_transmissions
+                assert a.failure_history == b.failure_history
+                assert np.array_equal(a.decoded_bits, b.decoded_bits)
+
+    def test_rake_link_pooling_is_result_neutral(self):
+        config = LinkConfig(
+            payload_bits=56,
+            crc_bits=16,
+            modulation="16QAM",
+            effective_code_rate=0.6,
+            turbo_iterations=3,
+            max_transmissions=3,
+        )
+        link = HspaLikeLink(config, use_rake=True)
+        pooled = simulate_packet_groups(
+            link,
+            [
+                PacketGroup(num_packets=3, snr_db=10.0, rng=7),
+                PacketGroup(num_packets=2, snr_db=16.0, rng=9),
+            ],
+        )
+        isolated = [
+            HspaLikeLink(config, use_rake=True).simulate_packets(3, 10.0, rng=7),
+            HspaLikeLink(config, use_rake=True).simulate_packets(2, 16.0, rng=9),
+        ]
+        for pooled_result, isolated_result in zip(pooled, isolated):
+            for a, b in zip(
+                pooled_result.packet_results, isolated_result.packet_results
+            ):
+                assert a.success == b.success
+                assert a.failure_history == b.failure_history
