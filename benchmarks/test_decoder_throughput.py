@@ -14,8 +14,8 @@ calls) for
 
 * the **seed** kernel — a faithful copy of the pre-engine decoder, kept
   here as the fixed baseline,
-* every available backend of the new engine (numpy, numpy-f32, numba when
-  installed),
+* every available backend of the new engine (numpy, numpy-f32, plus numba /
+  native / cupy when importable),
 
 at the batch sizes that occur at smoke scale: 8 (one work-item chunk /
 fault-map die) and 32 (the cross-work-item aggregated batch,
@@ -206,8 +206,9 @@ def test_decoder_throughput_benchmark():
     k, iterations = workload.block_size, workload.num_iterations
 
     backends = ["numpy", "numpy-f32"]
-    if "numba" in available_backends():
-        backends.append("numba")
+    for optional in ("numba", "native", "native-f32", "cupy-f32"):
+        if optional in available_backends():
+            backends.append(optional)
 
     results = {"seed": {}}
     for name in backends:
@@ -267,6 +268,46 @@ def test_decoder_throughput_benchmark():
         for batch in workload.batches:
             floor = 3.0 if batch >= DEFAULT_AGGREGATE_PACKETS else 2.5
             assert speedup_vs_seed["numpy"][str(batch)] >= floor, payload
+
+
+# --------------------------------------------------------------------------- #
+# decoder backend-family sweep (families x batch x threads + BLER parity)
+# --------------------------------------------------------------------------- #
+def test_decoder_backend_sweep():
+    """Sweep every available decoder family across batch sizes and threads.
+
+    Delegates to :mod:`repro.runner.bench` (also exposed as ``repro bench
+    decoder``): throughput per backend token at each batch size, the
+    speedup of every token against the ``numpy-f32`` baseline, an ``@t<N>``
+    thread-scaling series for threaded families (recorded with the
+    machine's ``cpu_count`` so single-core containers are reported
+    honestly), and a paired seeded BLER sweep holding the fastest
+    non-exact family within ``DECODER_BLER_TOLERANCE`` of the numpy
+    reference.  Results land in the ``decoder_backends`` section of
+    ``BENCH_decoder.json``.  The >= 3x native-vs-numpy-f32 target at the
+    widest batch gates only under ``REPRO_BENCH_STRICT=1`` (and only when
+    the extension is built); the always-on assertions are positive
+    throughput and BLER parity within tolerance.
+    """
+    from repro.runner.bench import run_and_record_decoder_backends
+
+    scale = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    section = run_and_record_decoder_backends(scale, path=BENCH_PATH)
+    assert all(
+        value > 0
+        for per_token in section["info_bits_per_second"].values()
+        for value in per_token.values()
+    )
+    parity = section.get("bler_parity")
+    if parity is not None:
+        assert parity["within_tolerance"], parity
+    if (
+        os.environ.get("REPRO_BENCH_STRICT") == "1"
+        and "native-f32" in section["info_bits_per_second"]
+    ):
+        widest = str(max(section["batch_sizes"]))
+        speedup = section["speedup_vs_numpy_f32"]["native-f32"][widest]
+        assert speedup >= 3.0, section
 
 
 # --------------------------------------------------------------------------- #

@@ -254,6 +254,10 @@ class HspaLikeLink:
         Returns the combined mother-domain LLR matrix ready for decoding,
         already in the configured LLR dtype.
         """
+        if len(states) == 1:
+            return self._front_end_single(
+                states[0], transmission_index, redundancy_version
+            )
         samples = self.transmitter.transmit_batch(
             [state.packet for state in states], redundancy_version
         )
@@ -297,6 +301,69 @@ class HspaLikeLink:
             )
         for state in states:
             state.transmissions += 1
+        dtype = self.config.llr_numpy_dtype
+        if combined.dtype != dtype:
+            combined = combined.astype(dtype)
+        return combined
+
+    def _front_end_single(
+        self,
+        state: _PacketState,
+        transmission_index: int,
+        redundancy_version: int,
+    ) -> np.ndarray:
+        """One packet's front-end round through the serial kernels.
+
+        A batch of one pays the full batch-assembly overhead (stacking,
+        broadcasting, per-column fancy indexing) for no amortisation, which
+        made single-packet simulation slower than the pre-batching code.
+        This path runs the same round through the serial kernels instead.
+        It is byte-identical to the batch path by the pinned kernel
+        contracts: every ``*_batch`` kernel is bit-identical to its serial
+        counterpart row by row (tests/test_front_end_batching.py), the
+        per-packet rng draw order (fading realisation, channel realisation,
+        noise) is the serial order already, and the buffer's own
+        ``combined_mother_llrs`` is what ``_combined_mother_rows`` mirrors.
+        The front-end benchmark asserts the equality at batch 1 on every
+        run.
+        """
+        samples = self.transmitter.transmit(state.packet, redundancy_version)
+        fading_gains = None
+        mean_signal_power = None
+        if self.fading_process is not None:
+            mean_signal_power = float(
+                self.channel.mean_signal_powers(samples.reshape(1, -1))[0]
+            )
+            realization = self.fading_process.realization(state.rng)
+            fading_gains = jakes_gains_batch([realization], 0, samples.shape[0])[0]
+            samples = samples * fading_gains
+        received, impulse_response, noise_variance = self.channel.apply(
+            samples,
+            state.snr_db,
+            state.rng,
+            mean_signal_power=mean_signal_power,
+        )
+        if self.config.buffer_architecture == "per-transmission":
+            channel_llrs = self.receiver.front_end(
+                received, impulse_response, noise_variance, fading_gains=fading_gains
+            )
+            state.buffer.store_transmission(
+                transmission_index, channel_llrs, redundancy_version
+            )
+            combined = state.buffer.combined_mother_llrs(
+                self.receiver.to_mother_domain
+            )
+        else:
+            mother_llrs = self.receiver.process_transmission(
+                received,
+                impulse_response,
+                noise_variance,
+                redundancy_version,
+                fading_gains=fading_gains,
+            )
+            combined = state.buffer.combine_and_store(mother_llrs)
+        state.transmissions += 1
+        combined = combined.reshape(1, -1)
         dtype = self.config.llr_numpy_dtype
         if combined.dtype != dtype:
             combined = combined.astype(dtype)

@@ -7,22 +7,41 @@ Backends are selected by name:
     is the default everywhere and is bit-identical to the seed decoder.
 ``numba`` / ``numba-f32``
     JIT-compiled trellis loops (:mod:`numba`), if the package is importable.
-    Requesting it on a machine without numba **falls back to numpy** with a
-    warning instead of failing — results stay correct, only slower.
+``native`` / ``native-f32`` (optionally ``@t<N>``)
+    The C-extension max-log-MAP kernel, if the compiled module was built
+    (``pip install -e .`` with a C compiler).  The ``@t<N>`` suffix fans a
+    batch out over N threads (the kernel releases the GIL); results are
+    identical for any thread count, so the suffix never enters the cache
+    identity.
+``cupy`` / ``cupy-f32``
+    GPU array-op kernel, if :mod:`cupy` is importable with a usable device.
 ``auto``
-    The fastest available family (numba when importable, else numpy) at
-    float64.
+    The fastest available CPU family (``native`` > ``numba`` > ``numpy``)
+    at float64.  ``cupy`` is never auto-selected — host/device transfer
+    economics depend on the workload, so the GPU stays opt-in.
+
+Requesting an unavailable family **falls back to numpy** at the same dtype
+with a warning instead of failing — results stay correct, only slower — so
+a config written on a machine with the extension still runs anywhere.
 
 :func:`resolve_backend` reduces any of these names to the
 :class:`~repro.phy.turbo.backends.base.BackendSpec` that will actually run,
 which is what result caches must key on (see
 :func:`repro.runner.cache.decoder_backend_identity`).
+
+Exactness contract (pinned by the conformance tests): families with
+``exact=True`` are bit-identical to the numpy/float64 golden reference at
+float64; ``exact=False`` families (``native``, ``cupy``) evaluate the same
+max-log equations in a different operation order and are held to
+decision-level agreement plus a BLER-delta tolerance instead.
 """
 
 from __future__ import annotations
 
+import re
 import warnings
-from typing import Callable, Dict, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Union
 
 from repro.phy.turbo.backends.base import NEG_INF, BackendSpec, SisoBackend
 from repro.phy.turbo.backends.numpy_backend import NumpySisoBackend
@@ -32,13 +51,60 @@ from repro.phy.turbo.trellis import RscTrellis
 #: dependency-free, because the golden-seed suite pins its exact output.
 DEFAULT_BACKEND = "numpy"
 
+#: ``auto`` preference order among CPU families (first available wins).
+AUTO_PREFERENCE = ("native", "numba", "numpy")
 
-def _numba_available() -> bool:
+_THREADS_RE = re.compile(r"^(?P<base>.+?)@t(?P<threads>\d+)$")
+
+
+@dataclass(frozen=True)
+class FamilyInfo:
+    """Registry record of one backend family.
+
+    Attributes
+    ----------
+    factory:
+        ``factory(trellis, block_size, spec) -> SisoBackend``.
+    probe:
+        ``() -> (available, reason)``; the reason string is surfaced by
+        ``repro backends ls`` so operators can audit heterogeneous fleets.
+    exact:
+        Whether the family is bit-identical to the numpy/float64 reference
+        at float64 (max-log families with reordered float arithmetic are
+        tolerance-gated instead).
+    threaded:
+        Whether the family honours ``BackendSpec.num_threads``.
+    """
+
+    factory: Callable[[RscTrellis, int, BackendSpec], SisoBackend]
+    probe: Callable[[], Tuple[bool, str]]
+    exact: bool = True
+    threaded: bool = False
+
+
+def _probe_numpy() -> Tuple[bool, str]:
+    return True, "always available (pure-numpy reference kernel)"
+
+
+def _probe_numba() -> Tuple[bool, str]:
     try:  # pragma: no cover - depends on the environment
-        import numba  # noqa: F401
-    except ImportError:
-        return False
-    return True
+        import numba
+    except ImportError as exc:
+        return False, f"numba not importable: {exc}"
+    return True, f"numba {numba.__version__} importable"
+
+
+def _probe_native() -> Tuple[bool, str]:
+    from repro.phy.turbo.backends._native import load_kernel_module
+
+    kernel, reason = load_kernel_module()
+    return kernel is not None, reason
+
+
+def _probe_cupy() -> Tuple[bool, str]:
+    from repro.phy.turbo.backends import cupy_backend
+
+    return cupy_backend.probe()
 
 
 def _make_numba(trellis: RscTrellis, block_size: int, spec: BackendSpec) -> SisoBackend:
@@ -47,23 +113,65 @@ def _make_numba(trellis: RscTrellis, block_size: int, spec: BackendSpec) -> Siso
     return NumbaSisoBackend(trellis, block_size, spec)
 
 
-#: family -> (factory, availability probe).
-_FAMILIES: Dict[str, Tuple[Callable[..., SisoBackend], Callable[[], bool]]] = {
-    "numpy": (NumpySisoBackend, lambda: True),
-    "numba": (_make_numba, _numba_available),
+def _make_native(trellis: RscTrellis, block_size: int, spec: BackendSpec) -> SisoBackend:
+    from repro.phy.turbo.backends.native_backend import NativeSisoBackend
+
+    return NativeSisoBackend(trellis, block_size, spec)
+
+
+def _make_cupy(trellis: RscTrellis, block_size: int, spec: BackendSpec) -> SisoBackend:
+    from repro.phy.turbo.backends.cupy_backend import CupySisoBackend
+
+    return CupySisoBackend(trellis, block_size, spec)
+
+
+_FAMILIES: Dict[str, FamilyInfo] = {
+    "numpy": FamilyInfo(NumpySisoBackend, _probe_numpy, exact=True),
+    "numba": FamilyInfo(_make_numba, _probe_numba, exact=True),
+    "native": FamilyInfo(_make_native, _probe_native, exact=False, threaded=True),
+    "cupy": FamilyInfo(_make_cupy, _probe_cupy, exact=False),
 }
+
+#: Memoised probe results — probes import packages, which is not free, and
+#: the answer cannot change within one process.
+_PROBE_CACHE: Dict[str, Tuple[bool, str]] = {}
+
+
+def _probe(family: str) -> Tuple[bool, str]:
+    cached = _PROBE_CACHE.get(family)
+    if cached is None:
+        cached = _FAMILIES[family].probe()
+        _PROBE_CACHE[family] = cached
+    return cached
 
 
 def register_backend_family(
     family: str,
     factory: Callable[[RscTrellis, int, BackendSpec], SisoBackend],
     *,
-    available: Callable[[], bool] = lambda: True,
+    available: Union[Callable[[], bool], Callable[[], Tuple[bool, str]], None] = None,
+    exact: bool = True,
+    threaded: bool = False,
 ) -> None:
-    """Register an additional backend family (rejecting duplicates)."""
+    """Register an additional backend family (rejecting duplicates).
+
+    ``available`` may return a plain bool (legacy) or an
+    ``(available, reason)`` tuple; omitted means always available.
+    """
     if family in _FAMILIES:
         raise ValueError(f"duplicate backend family {family!r}")
-    _FAMILIES[family] = (factory, available)
+
+    def probe() -> Tuple[bool, str]:
+        if available is None:
+            return True, "registered as always available"
+        result = available()
+        if isinstance(result, tuple):
+            return result
+        ok = bool(result)
+        return ok, "availability probe returned " + ("True" if ok else "False")
+
+    _FAMILIES[family] = FamilyInfo(factory, probe, exact=exact, threaded=threaded)
+    _PROBE_CACHE.pop(family, None)
 
 
 def backend_names() -> Tuple[str, ...]:
@@ -78,16 +186,47 @@ def backend_names() -> Tuple[str, ...]:
 def available_backends() -> Tuple[str, ...]:
     """Backend tokens whose family is importable on this machine."""
     names = []
-    for family, (_factory, available) in _FAMILIES.items():
-        if available():
+    for family in _FAMILIES:
+        if _probe(family)[0]:
             names.append(family)
             names.append(f"{family}-f32")
     return tuple(names)
 
 
+def family_listing() -> List[Dict[str, object]]:
+    """Availability report of every family, for ``repro backends ls``."""
+    listing: List[Dict[str, object]] = []
+    for family, info in _FAMILIES.items():
+        ok, reason = _probe(family)
+        listing.append(
+            {
+                "family": family,
+                "tokens": [family, f"{family}-f32"],
+                "available": ok,
+                "reason": reason,
+                "exact": info.exact,
+                "threaded": info.threaded,
+                "default": family == DEFAULT_BACKEND,
+            }
+        )
+    return listing
+
+
 def parse_backend_name(name: str) -> BackendSpec:
-    """Split a backend token into (family, dtype) without availability checks."""
+    """Split a backend token into (family, dtype, threads); no availability
+    checks.
+
+    Accepts an optional ``@t<N>`` thread suffix after the dtype suffix,
+    e.g. ``native-f32@t4``.
+    """
     token = str(name).strip().lower()
+    num_threads = 1
+    thread_match = _THREADS_RE.match(token)
+    if thread_match is not None:
+        token = thread_match.group("base")
+        num_threads = int(thread_match.group("threads"))
+        if num_threads < 1:
+            raise ValueError(f"decoder backend {name!r} requests zero threads")
     if token == "auto":
         family, dtype_name = "auto", "float64"
     elif token.endswith("-f32"):
@@ -100,32 +239,49 @@ def parse_backend_name(name: str) -> BackendSpec:
         raise ValueError(
             f"unknown decoder backend {name!r}; choose from {sorted(backend_names())}"
         )
-    return BackendSpec(family, dtype_name)
+    return BackendSpec(family, dtype_name, num_threads)
 
 
 def resolve_backend(name: Union[str, BackendSpec], *, warn: bool = True) -> BackendSpec:
     """Reduce a requested backend to the spec that will actually run.
 
-    ``auto`` picks numba when importable and numpy otherwise; an unavailable
-    family degrades to numpy at the same dtype (with a warning), so a config
-    written on a numba machine still runs — and is cached under the backend
-    that *really* produced the numbers.
+    ``auto`` picks the fastest available CPU family (native > numba >
+    numpy); an unavailable family degrades to numpy at the same dtype
+    (with a warning), so a config written on a machine with more backends
+    still runs — and is cached under the backend that *really* produced
+    the numbers.  A thread request on a family that cannot use it is
+    normalised to 1.
     """
     spec = parse_backend_name(name) if isinstance(name, str) else name
     if spec.family == "auto":
-        family = "numba" if _numba_available() else "numpy"
-        return BackendSpec(family, spec.dtype_name)
-    _factory, available = _FAMILIES[spec.family]
-    if not available():
+        family = next((f for f in AUTO_PREFERENCE if _probe(f)[0]), "numpy")
+        spec = BackendSpec(family, spec.dtype_name, spec.num_threads)
+    elif not _probe(spec.family)[0]:
         if warn:
             warnings.warn(
                 f"decoder backend {spec.name!r} is not available "
-                f"(missing dependency); falling back to numpy",
+                f"({_probe(spec.family)[1]}); falling back to numpy",
                 RuntimeWarning,
                 stacklevel=2,
             )
-        return BackendSpec("numpy", spec.dtype_name)
+        spec = BackendSpec("numpy", spec.dtype_name, spec.num_threads)
+    if spec.num_threads != 1 and not _FAMILIES[spec.family].threaded:
+        if warn:
+            warnings.warn(
+                f"decoder backend family {spec.family!r} is single-threaded; "
+                f"ignoring @t{spec.num_threads}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        spec = BackendSpec(spec.family, spec.dtype_name, 1)
     return spec
+
+
+def backend_is_exact(spec_or_name: Union[str, BackendSpec]) -> bool:
+    """Whether the (resolved) backend is bit-exact at float64 against the
+    numpy reference (as opposed to tolerance-gated max-log parity)."""
+    spec = resolve_backend(spec_or_name, warn=False)
+    return _FAMILIES[spec.family].exact
 
 
 def create_backend(
@@ -137,19 +293,22 @@ def create_backend(
     if isinstance(name, SisoBackend):
         return name
     spec = resolve_backend(name)
-    factory, _available = _FAMILIES[spec.family]
-    return factory(trellis, block_size, spec)
+    return _FAMILIES[spec.family].factory(trellis, block_size, spec)
 
 
 __all__ = [
+    "AUTO_PREFERENCE",
     "BackendSpec",
     "DEFAULT_BACKEND",
+    "FamilyInfo",
     "NEG_INF",
     "NumpySisoBackend",
     "SisoBackend",
     "available_backends",
+    "backend_is_exact",
     "backend_names",
     "create_backend",
+    "family_listing",
     "parse_backend_name",
     "register_backend_family",
     "resolve_backend",

@@ -1,0 +1,27 @@
+"""Build-products package for the native (C) SISO kernel.
+
+Holds ``sisokernel.c`` (compiled by ``setup.py`` into the
+``_sisokernel`` extension module, declared *optional* so a missing C
+compiler degrades the install instead of failing it) and the import probe
+the backend registry uses to detect whether the extension was built.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+def load_kernel_module() -> Tuple[Optional[object], str]:
+    """Import the compiled kernel, returning ``(module_or_None, reason)``.
+
+    The reason string feeds ``repro backends ls`` so operators can see *why*
+    the family is (un)available on a given worker.
+    """
+    try:
+        from repro.phy.turbo.backends._native import _sisokernel
+    except ImportError as exc:
+        return None, (
+            "compiled extension not importable (build with "
+            f"`python setup.py build_ext --inplace` and a C compiler): {exc}"
+        )
+    return _sisokernel, "compiled C extension importable"

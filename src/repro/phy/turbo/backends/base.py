@@ -9,8 +9,8 @@ backend trivially exchangeable: two backends that implement the same
 floating-point precision.
 
 Backends are identified by a :class:`BackendSpec` — an implementation family
-(``numpy``, ``numba``) plus a compute dtype — so result caches can key on
-exactly what produced a number.
+(``numpy``, ``numba``, ``native``, ``cupy``) plus a compute dtype — so result
+caches can key on exactly what produced a number.
 """
 
 from __future__ import annotations
@@ -33,20 +33,41 @@ class BackendSpec:
     Attributes
     ----------
     family:
-        Implementation family (``"numpy"`` or ``"numba"``).
+        Implementation family (``"numpy"``, ``"numba"``, ``"native"``,
+        ``"cupy"``).
     dtype_name:
         Compute dtype (``"float64"`` or ``"float32"``).
+    num_threads:
+        Worker threads the kernel may fan a batch out over (only honoured
+        by families that release the GIL, e.g. ``native``).  Rows of a
+        batch are decoded independently, so the thread count is pure
+        execution topology: results are identical for any value.  It is
+        therefore **excluded** from :attr:`name` — and hence from the
+        result-cache identity — on purpose.
     """
 
     family: str
     dtype_name: str
+    num_threads: int = 1
 
     @property
     def name(self) -> str:
-        """Canonical user-facing token (``numpy``, ``numpy-f32``, ...)."""
+        """Canonical user-facing token (``numpy``, ``numpy-f32``, ...).
+
+        Deliberately thread-free: two specs differing only in
+        ``num_threads`` produce bit-identical numbers and must share one
+        cache identity.
+        """
         if self.dtype_name == "float64":
             return self.family
         return f"{self.family}-f32"
+
+    @property
+    def display_name(self) -> str:
+        """Human-facing token including the thread count (``native-f32@t4``)."""
+        if self.num_threads > 1:
+            return f"{self.name}@t{self.num_threads}"
+        return self.name
 
     @property
     def dtype(self) -> np.dtype:

@@ -1,0 +1,130 @@
+"""Optional GPU SISO kernel built on :mod:`cupy` array operations.
+
+A straight port of the numpy reference recursion to cupy: the branch-metric
+tables, the forward/backward recursions and the per-step normalisation are
+the same plane-major, batch-last formulation, evaluated on the GPU.  Inputs
+arrive as host numpy arrays (the decoder's contract), so each ``siso`` call
+pays two host/device transfers; the family therefore only wins on large
+batches, which is exactly the regime the Monte-Carlo batch aggregator
+produces.
+
+Like ``native``, this is a max-log family with tolerance-gated parity — GPU
+float arithmetic is not bit-pinned against the CPU reference — and it is
+only registered when :mod:`cupy` is importable (see the registry probe).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.turbo.backends.base import NEG_INF, BackendSpec, SisoBackend
+from repro.phy.turbo.trellis import RscTrellis
+
+
+def probe() -> "tuple[bool, str]":
+    """Availability probe: cupy importable *and* a device is usable."""
+    try:
+        import cupy  # noqa: F401
+    except ImportError as exc:
+        return False, f"cupy not importable: {exc}"
+    try:
+        cupy.cuda.runtime.getDeviceCount()
+    except Exception as exc:  # pragma: no cover - depends on the driver
+        return False, f"cupy importable but no usable CUDA device: {exc}"
+    return True, "cupy importable with a usable CUDA device"
+
+
+class CupySisoBackend(SisoBackend):
+    """GPU max-log-MAP kernel (cupy port of the numpy reference)."""
+
+    def __init__(
+        self,
+        trellis: RscTrellis,
+        block_size: int,
+        spec: BackendSpec = BackendSpec("cupy", "float32"),
+    ) -> None:
+        super().__init__(trellis, block_size, spec)
+        import cupy as cp  # deferred so the module imports without cupy
+
+        self._cp = cp
+        dtype = self.dtype
+        num_states = trellis.num_states
+        parity_sign = 1.0 - 2.0 * trellis.parity.astype(np.float64)
+        input_sign = np.array([1.0, -1.0])
+        prev_state = trellis.prev_state
+        prev_input = trellis.prev_input
+
+        self._prev_flat = cp.asarray(prev_state.T.reshape(-1).astype(np.intp))
+        self._next_flat = cp.asarray(
+            trellis.next_state.T.reshape(-1).astype(np.intp)
+        )
+        self._in_sign_bwd = cp.asarray(
+            np.repeat(input_sign, num_states).reshape(-1, 1).astype(dtype)
+        )
+        self._par_sign_bwd = cp.asarray(
+            parity_sign.T.reshape(-1, 1).astype(dtype)
+        )
+        self._fwd_from_bwd = cp.asarray(
+            (prev_input.T * num_states + prev_state.T).reshape(-1).astype(np.intp)
+        )
+        self._num_states = num_states
+
+    def siso(
+        self,
+        sys_llrs: np.ndarray,
+        par_llrs: np.ndarray,
+        apriori_llrs: np.ndarray,
+        out: np.ndarray,
+        *,
+        terminated_start: bool = True,
+    ) -> np.ndarray:
+        cp = self._cp
+        num_states = self._num_states
+        batch, k = sys_llrs.shape
+
+        sys_d = cp.asarray(sys_llrs)
+        par_d = cp.asarray(par_llrs)
+        ap_d = cp.asarray(apriori_llrs)
+
+        combined = (sys_d + ap_d) * 0.5
+        half_par = par_d * 0.5
+
+        # Shared branch tables for every step: backward layout built
+        # arithmetically, forward layout gathered from it.
+        branch_bwd = (
+            combined.T[:, None, :] * self._in_sign_bwd
+            + half_par.T[:, None, :] * self._par_sign_bwd
+        )  # (k, 2S, batch)
+        branch_fwd = branch_bwd[:, self._fwd_from_bwd, :]
+
+        alphas = cp.empty((k + 1, num_states, batch), dtype=self.dtype)
+        alpha = alphas[0]
+        if terminated_start:
+            alpha.fill(NEG_INF)
+            alpha[0, :] = 0.0
+        else:
+            alpha.fill(0.0)
+        for t in range(k):
+            cand = alpha[self._prev_flat] + branch_fwd[t]
+            nxt = cp.maximum(cand[:num_states], cand[num_states:])
+            nxt -= nxt.max(axis=0)
+            alphas[t + 1] = nxt
+            alpha = alphas[t + 1]
+
+        absum = alphas[:k, None] + branch_bwd.reshape(k, 2, num_states, batch)
+        beta = cp.zeros((num_states, batch), dtype=self.dtype)
+        app_t = cp.empty((k, batch), dtype=self.dtype)
+        for t in range(k - 1, -1, -1):
+            bnext = beta[self._next_flat]
+            metric = absum[t].reshape(2 * num_states, batch) + bnext
+            best = metric.reshape(2, num_states, batch).max(axis=1)
+            app_t[t] = best[0] - best[1]
+            gsum = branch_bwd[t] + bnext
+            beta = cp.maximum(gsum[:num_states], gsum[num_states:])
+            beta -= beta.max(axis=0)
+
+        np.copyto(out, cp.asnumpy(app_t.T))
+        return out
+
+
+__all__ = ["CupySisoBackend", "probe"]

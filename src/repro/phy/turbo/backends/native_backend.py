@@ -1,0 +1,200 @@
+"""Python wrapper around the native (C) max-log-MAP SISO kernel.
+
+The compiled extension (:mod:`repro.phy.turbo.backends._native`) runs the
+forward/backward recursion over a *column slice* of a step-major
+``(block_size, batch)`` layout with the GIL released.  This wrapper owns
+
+* the flat trellis tables (the same plane-major layout as the numpy
+  backend, converted to the kernel's dtype once per instance),
+* transposed scratch buffers — the decoder hands over ``(batch, block)``
+  arrays, the kernel wants contiguous step-major planes so its inner loops
+  run over the batch, and
+* the ``num_threads`` fan-out: columns of one batch are split into
+  contiguous slices and decoded concurrently on a shared thread pool.
+  Rows are independent and slices touch disjoint memory, so the result is
+  **identical for any thread count** — which is why ``num_threads`` is
+  excluded from the backend's cache identity.
+
+Exactness contract: ``native`` is a max-log family.  It evaluates the same
+max-log-MAP equations as the numpy reference but in a different operation
+order (fused per-step branch computation instead of shared tables), so its
+LLRs may differ in the last float ulps; decisions agree on all confident
+bits and BLER parity is tolerance-gated by the benchmark suite.  The
+``numpy``/float64 family remains the bit-exact golden reference.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict
+
+import numpy as np
+
+from repro.phy.turbo.backends._native import load_kernel_module
+from repro.phy.turbo.backends.base import BackendSpec, SisoBackend
+from repro.phy.turbo.trellis import RscTrellis
+
+#: Below this many batch rows the thread fan-out costs more than it saves.
+MIN_ROWS_PER_THREAD = 8
+
+#: Process-wide pools, keyed by worker count (decode calls are serialised
+#: per decoder, so sharing pools across backend instances is safe and keeps
+#: thread churn at zero in Monte-Carlo loops).
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+
+
+def _pool(num_threads: int) -> ThreadPoolExecutor:
+    pool = _POOLS.get(num_threads)
+    if pool is None:
+        pool = ThreadPoolExecutor(
+            max_workers=num_threads, thread_name_prefix="repro-siso"
+        )
+        _POOLS[num_threads] = pool
+    return pool
+
+
+class _Workspace:
+    """Step-major transposed scratch for one block size (grown on demand)."""
+
+    def __init__(self, capacity: int, k: int, dtype: np.dtype) -> None:
+        self.capacity = capacity
+        self.sys_t = np.empty((k, capacity), dtype=dtype)
+        self.par_t = np.empty((k, capacity), dtype=dtype)
+        self.ap_t = np.empty((k, capacity), dtype=dtype)
+        self.app_t = np.empty((k, capacity), dtype=dtype)
+
+
+class NativeSisoBackend(SisoBackend):
+    """C-extension kernel with optional multi-threaded batch fan-out."""
+
+    def __init__(
+        self,
+        trellis: RscTrellis,
+        block_size: int,
+        spec: BackendSpec = BackendSpec("native", "float32"),
+    ) -> None:
+        super().__init__(trellis, block_size, spec)
+        kernel, reason = load_kernel_module()
+        if kernel is None:
+            raise RuntimeError(f"native decoder backend unavailable: {reason}")
+        self._kernel = kernel
+        dtype = self.dtype
+        num_states = trellis.num_states
+        if int(spec.num_threads) < 1:
+            raise ValueError(f"num_threads must be >= 1, got {spec.num_threads}")
+        self.num_threads = int(spec.num_threads)
+
+        parity_sign = 1.0 - 2.0 * trellis.parity.astype(np.float64)  # (S, 2)
+        input_sign = np.array([1.0, -1.0])
+        prev_state = trellis.prev_state  # (S, 2)
+        prev_input = trellis.prev_input  # (S, 2)
+
+        # Flat plane-major tables, exactly as in the numpy backend: forward
+        # row j * S + s' is the branch from predecessor slot j into state
+        # s'; backward row u * S + s is the branch leaving s with input u.
+        self._prev_flat = np.ascontiguousarray(
+            prev_state.T.reshape(-1), dtype=np.int32
+        )
+        self._next_flat = np.ascontiguousarray(
+            trellis.next_state.T.reshape(-1), dtype=np.int32
+        )
+        in_sign_bwd = np.repeat(input_sign, num_states)
+        par_sign_bwd = parity_sign.T.reshape(-1)
+        fwd_from_bwd = (prev_input.T * num_states + prev_state.T).reshape(-1)
+        self._in_sign_fwd = np.ascontiguousarray(
+            in_sign_bwd[fwd_from_bwd], dtype=dtype
+        )
+        self._par_sign_fwd = np.ascontiguousarray(
+            par_sign_bwd[fwd_from_bwd], dtype=dtype
+        )
+        self._par_sign_bwd = np.ascontiguousarray(par_sign_bwd, dtype=dtype)
+        self._num_states = num_states
+        self._is_double = dtype == np.dtype("float64")
+        self._workspaces: Dict[int, _Workspace] = {}
+
+    # ------------------------------------------------------------------ #
+    def _workspace(self, batch: int, k: int) -> _Workspace:
+        ws = self._workspaces.get(k)
+        if ws is None or ws.capacity < batch:
+            capacity = batch if ws is None else max(batch, 2 * ws.capacity)
+            ws = _Workspace(capacity, k, self.dtype)
+            self._workspaces[k] = ws
+        return ws
+
+    def _column_slices(self, batch: int) -> list:
+        """Contiguous ``(lo, hi)`` column slices, one per worker."""
+        workers = min(self.num_threads, max(1, batch // MIN_ROWS_PER_THREAD))
+        if workers <= 1:
+            return [(0, batch)]
+        base, extra = divmod(batch, workers)
+        slices = []
+        lo = 0
+        for i in range(workers):
+            hi = lo + base + (1 if i < extra else 0)
+            slices.append((lo, hi))
+            lo = hi
+        return slices
+
+    # ------------------------------------------------------------------ #
+    def siso(
+        self,
+        sys_llrs: np.ndarray,
+        par_llrs: np.ndarray,
+        apriori_llrs: np.ndarray,
+        out: np.ndarray,
+        *,
+        terminated_start: bool = True,
+    ) -> np.ndarray:
+        batch, k = sys_llrs.shape
+        ws = self._workspace(batch, k)
+        sys_t = ws.sys_t[:, :batch]
+        par_t = ws.par_t[:, :batch]
+        ap_t = ws.ap_t[:, :batch]
+        app_t = ws.app_t[:, :batch]
+        np.copyto(sys_t, sys_llrs.T)
+        np.copyto(par_t, par_llrs.T)
+        np.copyto(ap_t, apriori_llrs.T)
+
+        # The scratch views are only contiguous when the batch fills the
+        # workspace; hand the kernel the *backing* buffers plus the true
+        # column stride (= capacity) instead of copying again.
+        stride = ws.capacity
+        slices = self._column_slices(batch)
+
+        def run(lo: int, hi: int) -> None:
+            self._kernel.siso(
+                ws.sys_t,
+                ws.par_t,
+                ws.ap_t,
+                ws.app_t,
+                self._prev_flat,
+                self._in_sign_fwd,
+                self._par_sign_fwd,
+                self._next_flat,
+                self._par_sign_bwd,
+                stride,
+                k,
+                self._num_states,
+                bool(terminated_start),
+                lo,
+                hi,
+                self._is_double,
+            )
+
+        if len(slices) == 1:
+            run(0, batch)
+        else:
+            futures = [
+                _pool(self.num_threads).submit(run, lo, hi) for lo, hi in slices
+            ]
+            for future in futures:
+                future.result()
+
+        np.copyto(out, app_t.T)
+        return out
+
+
+def probe() -> "tuple[bool, str]":
+    """Availability probe for the backend registry (imports the extension)."""
+    kernel, reason = load_kernel_module()
+    return kernel is not None, reason

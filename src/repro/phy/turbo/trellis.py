@@ -143,6 +143,12 @@ class RscTrellis:
         if info.ndim != 2:
             raise ValueError(f"expected a 2-D bit matrix, got shape {info.shape}")
         batch, length = info.shape
+        if batch == 1:
+            # Scalar table lookups beat one-element fancy indexing by an
+            # order of magnitude; both are exact integer recursions, so the
+            # delegation is bit-identical.
+            row, final_state = self.encode_bits(info[0], initial_state)
+            return row.reshape(1, -1), np.array([final_state], dtype=np.int64)
         state = np.full(batch, int(initial_state), dtype=np.int64)
         out = np.empty((batch, length), dtype=np.int8)
         parity, next_state = self.parity, self.next_state

@@ -1,11 +1,14 @@
-"""Front-end throughput benchmark and float32-LLR BLER characterisation.
+"""Link/decoder benchmarks and the float32-LLR BLER characterisation.
 
 ``BENCH_decoder.json`` at the repository root records the performance
 snapshot of the *whole* pipeline: the turbo-decoder kernels (written by
 ``benchmarks/test_decoder_throughput.py``), the end-to-end llr-dtype link
 benchmark, and — from this module — the ``front_end`` section comparing the
 batched transmit/channel/equalize/demap path against a verbatim copy of the
-pre-batching serial front end.
+pre-batching serial front end, plus the ``decoder_backends`` section
+sweeping every available decoder family × batch size × thread count
+(``repro bench decoder``) with a BLER-parity check for the max-log
+families.
 
 The seed implementations below are faithful copies of the serial code as it
 stood before the front end grew its ``(num_packets, ...)`` batch axis: a
@@ -248,6 +251,234 @@ def run_front_end_benchmark(
         section["packets_per_second"]["batched"][str(batch)] = timings["batched"]
         section["speedup_vs_seed"][str(batch)] = timings["batched"] / timings["seed"]
     section["target_speedup_at_32"] = FRONT_END_TARGET_SPEEDUP
+    return section
+
+
+# --------------------------------------------------------------------------- #
+# Decoder-backend sweep: families × batch sizes × thread counts.
+# --------------------------------------------------------------------------- #
+#: Batch sizes of the decoder-backend sweep (mirrors the decoder benchmark).
+DECODER_SWEEP_BATCH_SIZES = (8, 32, 128)
+
+#: Thread counts swept for families that honour ``num_threads``.
+DECODER_SWEEP_THREADS = (1, 2, 4)
+
+#: Timed decode calls per (family, batch) point.
+DECODER_SWEEP_REPEATS = 8
+
+#: Max-log families must keep ``max |ΔBLER|`` within this bound on the
+#: paired seeded sweep (the same gate style as the float32-LLR study).
+DECODER_BLER_TOLERANCE = 0.05
+
+#: Packets per SNR point of the BLER-parity sweep (64 gives a BLER
+#: granularity of 1/64, fine enough to detect a systematic divergence).
+DECODER_BLER_PACKETS = 64
+
+
+def _decoder_workload(scale_name: str, batch_sizes, base_seed: int):
+    """Seeded mixed-noise decode batches, like a sweep's decode calls."""
+    from repro.phy.turbo import TurboCode
+
+    scale = get_scale(scale_name)
+    config = scale.link_config()
+    k = config.block_size
+    code = TurboCode(k, num_iterations=scale.turbo_iterations)
+    rng = np.random.default_rng(base_seed)
+    sigmas = (0.8, 1.5, 2.2, 3.0)
+    batches = {}
+    for batch in batch_sizes:
+        rows = []
+        for i in range(batch):
+            bits = rng.integers(0, 2, k, dtype=np.int8)
+            coded = code.encode(bits)
+            noise = rng.normal(0.0, sigmas[i % len(sigmas)], coded.size)
+            rows.append((1.0 - 2.0 * coded.astype(np.float64)) * 2.0 + noise)
+        llrs = np.stack(rows)
+        batches[batch] = (
+            llrs[:, :k],
+            np.ascontiguousarray(llrs[:, k::2]),
+            np.ascontiguousarray(llrs[:, k + 1 :: 2]),
+        )
+    return scale, code, batches
+
+
+def _decode_throughput(decoder, inputs, block_size: int, batch: int, repeats: int) -> float:
+    """Best-of-groups info-bits/s of one decoder on one prepared batch."""
+    decoder.decode(*inputs)  # warm-up (workspace growth, thread-pool spin-up)
+    best = float("inf")
+    for _group in range(3):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            decoder.decode(*inputs)
+        best = min(best, (time.perf_counter() - start) / repeats)
+    return batch * block_size / best
+
+
+def run_decoder_backend_sweep(
+    scale: str = "smoke",
+    batch_sizes=DECODER_SWEEP_BATCH_SIZES,
+    thread_counts=DECODER_SWEEP_THREADS,
+    repeats: int = DECODER_SWEEP_REPEATS,
+    base_seed: int = 2012,
+    with_bler_parity: bool = True,
+) -> Dict:
+    """Sweep every available decoder family × batch × threads.
+
+    Measures information bits decoded per second for both dtypes of every
+    *available* family on the same seeded mixed-noise workload, a thread
+    sweep for the families that honour ``num_threads`` (recorded together
+    with the machine's CPU count — thread scaling is meaningless without
+    it), and, for the fastest non-exact family, a paired seeded BLER sweep
+    against the numpy reference with a tolerance verdict.
+    """
+    import os
+
+    from repro.phy.turbo import TurboDecoder
+    from repro.phy.turbo.backends import (
+        available_backends,
+        backend_is_exact,
+        family_listing,
+    )
+
+    link_scale, code, batches = _decoder_workload(scale, batch_sizes, base_seed)
+    k = code.block_size
+    iterations = link_scale.turbo_iterations
+    tokens = list(available_backends())
+    section: Dict = {
+        "scale": link_scale.name,
+        "block_size": k,
+        "num_iterations": iterations,
+        "cpu_count": os.cpu_count(),
+        "batch_sizes": [int(b) for b in batch_sizes],
+        "available_backends": tokens,
+        "info_bits_per_second": {},
+        "speedup_vs_numpy_f32": {},
+    }
+    for token in tokens:
+        per_batch = {}
+        for batch, inputs in batches.items():
+            decoder = TurboDecoder(
+                k, iterations, interleaver=code.encoder.interleaver, backend=token
+            )
+            per_batch[str(batch)] = _decode_throughput(decoder, inputs, k, batch, repeats)
+        section["info_bits_per_second"][token] = per_batch
+    reference = section["info_bits_per_second"].get("numpy-f32", {})
+    for token in tokens:
+        if token == "numpy-f32":
+            continue
+        section["speedup_vs_numpy_f32"][token] = {
+            batch: value / reference[batch]
+            for batch, value in section["info_bits_per_second"][token].items()
+            if reference.get(batch)
+        }
+
+    # Thread sweep on the widest batch for every threaded family.
+    threaded = [
+        entry["family"]
+        for entry in family_listing()
+        if entry["threaded"] and entry["available"]
+    ]
+    section["thread_scaling"] = {}
+    widest = max(batches)
+    for family in threaded:
+        token = f"{family}-f32"
+        per_thread = {}
+        for threads in thread_counts:
+            decoder = TurboDecoder(
+                k,
+                iterations,
+                interleaver=code.encoder.interleaver,
+                backend=f"{token}@t{threads}" if threads > 1 else token,
+            )
+            per_thread[str(threads)] = _decode_throughput(
+                decoder, batches[widest], k, widest, repeats
+            )
+        section["thread_scaling"][token] = {
+            "batch": int(widest),
+            "info_bits_per_second": per_thread,
+        }
+
+    # BLER parity of the fastest available max-log family vs the reference.
+    candidates = [t for t in tokens if not backend_is_exact(t) and t.endswith("-f32")]
+    if with_bler_parity and candidates:
+        candidate = candidates[0]
+        section["bler_parity"] = run_decoder_bler_parity(
+            candidate, scale=scale, base_seed=base_seed
+        )
+    return section
+
+
+def run_decoder_bler_parity(
+    candidate: str,
+    scale: str = "smoke",
+    base_seed: int = 2012,
+    num_packets: int = DECODER_BLER_PACKETS,
+    tolerance: float = DECODER_BLER_TOLERANCE,
+) -> Dict:
+    """Paired seeded SNR sweep: *candidate* backend vs the numpy reference.
+
+    Both sweeps consume identical seed streams, so every packet sees the
+    same payload, channel and noise; the only difference is the decoder
+    kernel.  Exact families would produce ``ΔBLER == 0``; max-log families
+    are held to ``max |ΔBLER| <= tolerance`` — the same contract the
+    float32-LLR mode was characterised under.
+    """
+    link_scale = get_scale(scale)
+    blers = {}
+    for backend in ("numpy", candidate):
+        link = HspaLikeLink(link_scale.link_config(decoder_backend=backend))
+        results = link.snr_sweep(
+            link_scale.snr_points_db, num_packets, rng=base_seed
+        )
+        blers[backend] = [r.statistics.block_error_rate for r in results]
+    deltas = [abs(a - b) for a, b in zip(blers["numpy"], blers[candidate])]
+    return {
+        "reference": "numpy",
+        "candidate": candidate,
+        "snr_points_db": [float(s) for s in link_scale.snr_points_db],
+        "num_packets": int(num_packets),
+        "seed": int(base_seed),
+        "bler_reference": blers["numpy"],
+        "bler_candidate": blers[candidate],
+        "max_abs_delta_bler": max(deltas),
+        "tolerance": float(tolerance),
+        "within_tolerance": max(deltas) <= tolerance,
+    }
+
+
+def run_and_record_decoder_backends(
+    scale: str = "smoke",
+    *,
+    path: Path = BENCH_PATH,
+    log=print,
+) -> Dict:
+    """Run the decoder-backend sweep and merge it into the bench snapshot."""
+    section = run_decoder_backend_sweep(scale=scale)
+    merge_bench_section("decoder_backends", section, path=path)
+    for token, per_batch in section["info_bits_per_second"].items():
+        for batch, value in sorted(per_batch.items(), key=lambda kv: int(kv[0])):
+            ratio = section["speedup_vs_numpy_f32"].get(token, {}).get(batch)
+            suffix = f" ({ratio:.2f}x numpy-f32)" if ratio is not None else ""
+            log(f"{token:12s} batch={int(batch):4d}: {value:12.0f} info bits/s{suffix}")
+    for token, entry in section["thread_scaling"].items():
+        pairs = ", ".join(
+            f"t{threads}={value:.0f}"
+            for threads, value in sorted(
+                entry["info_bits_per_second"].items(), key=lambda kv: int(kv[0])
+            )
+        )
+        log(
+            f"{token} thread sweep at batch {entry['batch']} "
+            f"(cpu_count={section['cpu_count']}): {pairs}"
+        )
+    parity = section.get("bler_parity")
+    if parity is not None:
+        verdict = "within" if parity["within_tolerance"] else "EXCEEDS"
+        log(
+            f"BLER parity {parity['candidate']} vs {parity['reference']}: "
+            f"max |dBLER| = {parity['max_abs_delta_bler']:.4f} "
+            f"({verdict} tolerance {parity['tolerance']})"
+        )
     return section
 
 

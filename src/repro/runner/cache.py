@@ -68,10 +68,13 @@ def decoder_backend_identity(requested: str) -> Dict[str, str]:
     """The cache-key contribution of a requested decoder backend.
 
     Resolves the request to the backend that will *actually* run on this
-    machine (``auto`` detection, numba-to-numpy fallback) and records its
-    name **and** compute dtype, so results produced by different backends
-    or precisions are never conflated — and a request that silently fell
-    back to numpy shares the numpy entry instead of poisoning the numba one.
+    machine (``auto`` detection, unavailable-family fallback to numpy) and
+    records its name **and** compute dtype, so results produced by
+    different backends or precisions are never conflated — and a request
+    that silently fell back to numpy shares the numpy entry instead of
+    poisoning the numba one.  ``BackendSpec.name`` deliberately excludes
+    ``num_threads``: rows decode independently, so an ``@t4`` request
+    produces bit-identical results to ``@t1`` and must share its entry.
     """
     from repro.phy.turbo.backends import resolve_backend
 

@@ -17,6 +17,9 @@ Subcommands
     Show registered experiments, scale presets and execution backends.
 ``scenarios ls [--json]``
     List the scenario registry (human-readable, or machine-readable JSON).
+``backends ls [--json]``
+    List all three registries — decoder-backend families (with availability
+    probes and reasons), execution backends and scenarios — for this machine.
 ``bler``
     Adaptively estimate the defect-free link BLER at one SNR point, stopping
     once the Wilson interval meets the requested relative error.
@@ -101,6 +104,22 @@ ADAPTIVE_EXPERIMENTS = ("fig6", "fig7", "fig8", "fig9")
 #: Default coordinator bind address of the socket backend (loopback,
 #: ephemeral port); used to detect whether the user set the flag at all.
 DEFAULT_SOCKET_BIND = "127.0.0.1:0"
+
+
+def _decoder_backend_token(value: str) -> str:
+    """argparse type for ``--decoder-backend`` (accepts ``@t<N>`` suffixes).
+
+    A static ``choices=`` list cannot enumerate the open-ended thread tokens
+    (``native-f32@t4``), so validation goes through the same parser the
+    decoder itself uses and bad tokens still fail at argument-parse time.
+    """
+    from repro.phy.turbo.backends import parse_backend_name
+
+    try:
+        parse_backend_name(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -243,8 +262,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--decoder-backend",
         default=None,
-        choices=sorted(backend_names()),
-        help="turbo-decoder backend (default: the deterministic numpy kernel)",
+        type=_decoder_backend_token,
+        metavar="BACKEND",
+        help="turbo-decoder backend, e.g. "
+        f"{', '.join(sorted(backend_names()))}; threaded families accept an "
+        "@t<N> suffix such as native-f32@t4 (default: the deterministic "
+        "numpy kernel; see `repro backends ls`)",
     )
     run_p.add_argument(
         "--adaptive",
@@ -263,6 +286,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="machine-readable listing (one JSON array of scenario descriptions)",
+    )
+
+    backends_p = sub.add_parser(
+        "backends",
+        help="list the decoder, execution and scenario registries with "
+        "availability on this machine",
+    )
+    backends_p.add_argument(
+        "action", nargs="?", default="ls", choices=("ls",), help="ls: list backends"
+    )
+    backends_p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable listing (one JSON object with decoder_backends, "
+        "execution_backends and scenarios)",
     )
 
     bler_p = sub.add_parser("bler", help="adaptive BLER estimate at one SNR point")
@@ -291,8 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "target",
-        choices=("front-end",),
-        help="benchmark to run (front-end: seed-serial vs batched link front end)",
+        choices=("front-end", "decoder"),
+        help="benchmark to run (front-end: seed-serial vs batched link front "
+        "end; decoder: backend-family throughput/thread/BLER-parity sweep)",
     )
     bench_p.add_argument("--scale", default="smoke", choices=sorted(SCALES))
     bench_p.add_argument(
@@ -925,6 +964,70 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    """``repro backends ls [--json]`` — all three registries, with reasons.
+
+    Decoder families carry a real availability probe (compiled extension,
+    importable package); execution backends are stdlib-only topology and are
+    always available; scenarios are listed by name so one command answers
+    "what can this machine run".
+    """
+    import json
+
+    from repro.phy.turbo.backends import DEFAULT_BACKEND as DECODER_DEFAULT
+    from repro.phy.turbo.backends import family_listing
+
+    decoder = family_listing()
+    execution = [
+        {
+            "name": name,
+            "available": True,
+            "reason": "stdlib-only execution topology, always available",
+            "default": name == DEFAULT_BACKEND,
+            "default_parallel": name == DEFAULT_PARALLEL_BACKEND,
+        }
+        for name in sorted(execution_backend_names())
+    ]
+    scenarios = list(scenario_names())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "decoder_backends": decoder,
+                    "execution_backends": execution,
+                    "scenarios": scenarios,
+                },
+                sort_keys=True,
+                indent=2,
+            )
+        )
+        return 0
+    print("decoder backends (select with --decoder-backend):")
+    for entry in decoder:
+        status = "available" if entry["available"] else "unavailable"
+        flags = []
+        if entry["family"] == DECODER_DEFAULT:
+            flags.append("default")
+        flags.append("exact" if entry["exact"] else "max-log")
+        if entry["threaded"]:
+            flags.append("threaded (@t<N>)")
+        print(
+            f"  {entry['family']:<8} [{status:<11}] ({', '.join(flags)}) "
+            f"{entry['reason']}"
+        )
+    print("execution backends (topology only; results are identical):")
+    for entry in execution:
+        flags = []
+        if entry["default"]:
+            flags.append("default")
+        if entry["default_parallel"]:
+            flags.append("default with --workers")
+        suffix = f" ({', '.join(flags)})" if flags else ""
+        print(f"  {entry['name']:<8} {entry['reason']}{suffix}")
+    print(f"scenarios: {len(scenarios)} registered (see `repro scenarios ls`)")
+    return 0
+
+
 def _cmd_bler(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
     config = scale.link_config()
@@ -1024,6 +1127,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.target == "decoder":
+        from repro.runner.bench import run_and_record_decoder_backends
+
+        run_and_record_decoder_backends(args.scale)
+        return 0
+
     from repro.runner.bench import FRONT_END_TARGET_SPEEDUP, run_and_record_front_end
 
     section = run_and_record_front_end(args.scale, with_bler=not args.no_bler)
@@ -1041,6 +1150,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "list": _cmd_list,
     "scenarios": _cmd_scenarios,
+    "backends": _cmd_backends,
     "bler": _cmd_bler,
     "worker": _cmd_worker,
     "golden": _cmd_golden,

@@ -17,9 +17,11 @@ import pytest
 
 from repro.phy.turbo import TurboCode, TurboDecoder
 from repro.phy.turbo.backends import (
+    AUTO_PREFERENCE,
     BackendSpec,
     NumpySisoBackend,
     available_backends,
+    backend_is_exact,
     backend_names,
     create_backend,
     parse_backend_name,
@@ -32,6 +34,10 @@ from repro.runner.cli import run_identity
 
 def _numba_available() -> bool:
     return "numba" in available_backends()
+
+
+def _native_available() -> bool:
+    return "native" in available_backends()
 
 
 def _noisy_batch(code: TurboCode, batch: int, rng, amp: float = 2.0, sigmas=(0.6, 1.4, 2.4, 3.2)):
@@ -68,9 +74,31 @@ class TestRegistry:
 
     def test_auto_resolves_to_an_available_family(self):
         spec = resolve_backend("auto")
-        assert spec.family in ("numpy", "numba")
-        if not _numba_available():
+        expected = next(
+            f for f in AUTO_PREFERENCE if f in {t for t in available_backends()}
+        )
+        assert spec.family == expected
+        if not _native_available() and not _numba_available():
             assert spec.family == "numpy"
+
+    def test_thread_suffix_parses(self):
+        spec = parse_backend_name("native-f32@t4")
+        assert spec == BackendSpec("native", "float32", 4)
+        assert spec.name == "native-f32"  # thread count excluded from identity
+        assert spec.display_name == "native-f32@t4"
+        assert parse_backend_name("native@t2") == BackendSpec("native", "float64", 2)
+        assert parse_backend_name("numpy").num_threads == 1
+
+    def test_thread_suffix_rejects_zero_and_garbage(self):
+        with pytest.raises(ValueError, match="zero threads"):
+            parse_backend_name("native@t0")
+        with pytest.raises(ValueError, match="unknown decoder backend"):
+            parse_backend_name("native@threads4")
+
+    def test_thread_suffix_on_single_threaded_family_normalises(self):
+        with pytest.warns(RuntimeWarning, match="single-threaded"):
+            spec = resolve_backend("numpy@t4")
+        assert spec == BackendSpec("numpy", "float64", 1)
 
     def test_numba_falls_back_to_numpy_when_missing(self):
         if _numba_available():
@@ -80,6 +108,22 @@ class TestRegistry:
         assert spec == BackendSpec("numpy", "float64")
         # dtype is preserved through the fallback
         assert resolve_backend("numba-f32", warn=False).dtype_name == "float32"
+
+    def test_native_falls_back_to_numpy_when_missing(self):
+        if _native_available():
+            pytest.skip("native extension built; fallback path not reachable")
+        with pytest.warns(RuntimeWarning, match="falling back to numpy"):
+            spec = resolve_backend("native-f32@t4")
+        assert spec.family == "numpy" and spec.dtype_name == "float32"
+
+    def test_exactness_classification(self):
+        assert backend_is_exact("numpy") and backend_is_exact("numpy-f32")
+        # native/cupy requests resolve before classification, so when the
+        # family is unavailable the verdict describes the numpy fallback.
+        if _native_available():
+            assert not backend_is_exact("native")
+        else:
+            assert backend_is_exact("native")
 
     def test_create_backend_passes_instances_through(self):
         backend = NumpySisoBackend(UMTS_TRELLIS, 40)
@@ -131,6 +175,119 @@ class TestBackendEquivalence:
         decoder.decode(sys_llrs[:2], par1[:2], par2[:2])
         third = decoder.decode(sys_llrs, par1, par2)
         assert np.array_equal(first.app_llrs, third.app_llrs)
+
+
+class TestFamilyConformance:
+    """One sweep, every available family, the exactness contract applied.
+
+    Exact families must reproduce the numpy/float64 reference bit-for-bit at
+    float64; max-log families (``native``, ``cupy``) evaluate the same
+    equations in a different operation order and are held to decision-level
+    agreement on confidently-decoded bits plus an APP tolerance — and, in
+    :class:`TestNativeBackend`, a paired-seed BLER delta bound.
+    """
+
+    @pytest.fixture(scope="class")
+    def conformance_workload(self):
+        code = TurboCode(104, num_iterations=4)
+        rng = np.random.default_rng(2012)
+        inputs = _noisy_batch(code, 12, rng)
+        reference = TurboDecoder(
+            104, 4, interleaver=code.encoder.interleaver, backend="numpy"
+        ).decode(*inputs)
+        return code, inputs, reference
+
+    @pytest.mark.parametrize("family", ["numpy", "numba", "native", "cupy"])
+    def test_family_agrees_with_reference(self, conformance_workload, family):
+        if family not in available_backends():
+            pytest.skip(f"{family} family unavailable on this machine")
+        code, inputs, reference = conformance_workload
+        result = TurboDecoder(
+            104, 4, interleaver=code.encoder.interleaver, backend=family
+        ).decode(*inputs)
+        if backend_is_exact(family):
+            assert np.array_equal(reference.app_llrs, result.app_llrs)
+            assert np.array_equal(reference.decoded_bits, result.decoded_bits)
+        else:
+            confident = np.abs(reference.app_llrs) > 0.05
+            assert np.array_equal(
+                reference.decoded_bits[confident], result.decoded_bits[confident]
+            )
+            scale = np.maximum(np.abs(reference.app_llrs), 1.0)
+            assert np.max(np.abs(reference.app_llrs - result.app_llrs) / scale) < 1e-6
+
+    @pytest.mark.parametrize("family", ["numpy", "numba", "native", "cupy"])
+    def test_family_f32_decisions_agree(self, conformance_workload, family):
+        if family not in available_backends():
+            pytest.skip(f"{family} family unavailable on this machine")
+        code, inputs, reference = conformance_workload
+        result = TurboDecoder(
+            104, 4, interleaver=code.encoder.interleaver, backend=f"{family}-f32"
+        ).decode(*inputs)
+        assert result.app_llrs.dtype == np.float64  # API dtype is stable
+        confident = np.abs(reference.app_llrs) > 0.05
+        assert np.array_equal(
+            reference.decoded_bits[confident], result.decoded_bits[confident]
+        )
+
+
+@pytest.mark.skipif(not _native_available(), reason="native extension not built")
+class TestNativeBackend:
+    def test_thread_count_never_changes_results(self, rng):
+        """`@t<N>` is pure topology: any thread count, identical bytes."""
+        code = TurboCode(88, num_iterations=4)
+        inputs = _noisy_batch(code, 13, rng)  # odd batch: uneven slices
+        results = [
+            TurboDecoder(
+                88, 4, interleaver=code.encoder.interleaver, backend=token
+            ).decode(*inputs)
+            for token in ("native-f32", "native-f32@t2", "native-f32@t4")
+        ]
+        for other in results[1:]:
+            assert np.array_equal(results[0].app_llrs, other.app_llrs)
+            assert np.array_equal(results[0].decoded_bits, other.decoded_bits)
+
+    def test_batch_one_and_uneven_batches(self, rng):
+        """Row independence holds for the native kernel too."""
+        code = TurboCode(72, num_iterations=4)
+        inputs = _noisy_batch(code, 7, rng)
+        decoder = TurboDecoder(
+            72, 4, interleaver=code.encoder.interleaver, backend="native"
+        )
+        batched = decoder.decode(*inputs)
+        for row in range(7):
+            solo = decoder.decode(
+                inputs[0][row], inputs[1][row], inputs[2][row]
+            )
+            assert np.array_equal(solo.app_llrs[0], batched.app_llrs[row]), row
+
+    def test_unterminated_start_supported(self, rng):
+        """The second constituent decoder starts unterminated — both values
+        of the flag must flow through the C kernel."""
+        from repro.phy.turbo.backends.native_backend import NativeSisoBackend
+
+        code = TurboCode(48, num_iterations=2)
+        sys_llrs, par1, _ = _noisy_batch(code, 5, rng)
+        native = NativeSisoBackend(UMTS_TRELLIS, 48, BackendSpec("native", "float64"))
+        ref = NumpySisoBackend(UMTS_TRELLIS, 48, BackendSpec("numpy", "float64"))
+        apriori = np.zeros_like(sys_llrs)
+        for terminated in (True, False):
+            got = native.siso(
+                sys_llrs, par1, apriori, np.empty_like(sys_llrs),
+                terminated_start=terminated,
+            )
+            want = ref.siso(
+                sys_llrs, par1, apriori, np.empty_like(sys_llrs),
+                terminated_start=terminated,
+            )
+            np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_bler_parity_with_reference(self):
+        """Paired-seed sweep: native BLER within tolerance of numpy's."""
+        from repro.runner.bench import run_decoder_bler_parity
+
+        parity = run_decoder_bler_parity("native-f32", num_packets=16)
+        assert parity["within_tolerance"], parity
 
 
 class TestBatchCompositionIndependence:
@@ -195,6 +352,12 @@ class TestCacheIdentity:
         if _numba_available():
             pytest.skip("numba present")
         assert decoder_backend_identity("numba") == {"name": "numpy", "dtype": "float64"}
+
+    def test_thread_count_never_enters_the_identity(self):
+        """`@t<N>` cannot change results, so it must share the cache entry."""
+        base = decoder_backend_identity("native-f32")
+        threaded = decoder_backend_identity("native-f32@t4")
+        assert base == threaded
 
     def test_run_identity_distinguishes_backends(self):
         base = run_identity("fig6", "smoke", 2012, {})

@@ -268,6 +268,62 @@ class TestLinkComposition:
             {},
             {"buffer_architecture": "combined"},
             {"fading": "jakes:120"},
+            {"fading": "jakes:120", "buffer_architecture": "combined"},
+        ],
+        ids=["per-transmission", "combined", "jakes-fading", "jakes-combined"],
+    )
+    def test_batch_one_fast_path_matches_general_round(self, overrides):
+        """The serial batch-1 front-end fast path is byte-identical to the
+        general batched round.
+
+        A width-3 round takes the general batched path; running each of the
+        same packets alone takes the ``_front_end_single`` shortcut (the
+        batch-1 regression fix).  Row independence means the rows must match
+        byte for byte — in both buffer architectures, with and without
+        fading.
+        """
+        from repro.link.system import _PacketState
+        from repro.utils.rng import child_rngs
+
+        config = LinkConfig(
+            payload_bits=56,
+            crc_bits=16,
+            modulation="16QAM",
+            effective_code_rate=0.6,
+            turbo_iterations=3,
+            max_transmissions=3,
+            **overrides,
+        )
+
+        def rows(indices):
+            link = HspaLikeLink(config)
+            rngs = child_rngs(777, 3)
+            payloads = [link.transmitter.random_payload(r) for r in rngs]
+            packets = link.transmitter.encode_batch([payloads[i] for i in indices])
+            states = [
+                _PacketState(
+                    rng=rngs[i],
+                    packet=packets[j],
+                    buffer=link.make_buffer(),
+                    snr_db=10.0,
+                )
+                for j, i in enumerate(indices)
+            ]
+            return link._front_end_round(
+                states, 0, config.combining.redundancy_version(0)
+            )
+
+        wide = rows([0, 1, 2])
+        for i in range(3):
+            solo = rows([i])
+            assert solo[0].tobytes() == wide[i].tobytes(), i
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},
+            {"buffer_architecture": "combined"},
+            {"fading": "jakes:120"},
             {"spreading_factor": 4},
         ],
         ids=["per-transmission", "combined", "jakes-fading", "spread"],

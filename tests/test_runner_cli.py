@@ -121,6 +121,51 @@ class TestCliMain:
         output = capsys.readouterr().out
         assert "fig6" in output and "power_savings" in output and "smoke" in output
 
+    def test_backends_ls(self, capsys):
+        assert main(["backends", "ls"]) == 0
+        output = capsys.readouterr().out
+        assert "decoder backends" in output
+        assert "numpy" in output and "native" in output
+        assert "execution backends" in output and "serial" in output
+        assert "scenarios:" in output
+
+    def test_backends_ls_json_reports_all_three_registries(self, capsys):
+        from repro.phy.turbo.backends import available_backends
+
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        families = {e["family"]: e for e in payload["decoder_backends"]}
+        assert set(families) >= {"numpy", "numba", "native", "cupy"}
+        assert families["numpy"]["available"] is True
+        assert families["numpy"]["exact"] is True
+        assert families["native"]["threaded"] is True
+        for entry in families.values():
+            # availability in the listing must agree with the live registry
+            assert entry["available"] == (
+                entry["tokens"][0] in available_backends()
+            )
+            assert isinstance(entry["reason"], str) and entry["reason"]
+        execution = {e["name"] for e in payload["execution_backends"]}
+        assert execution == {"serial", "process", "socket"}
+        assert payload["scenarios"]  # non-empty name list
+
+    def test_decoder_backend_flag_accepts_thread_tokens(self):
+        parser_main_args = [
+            "run",
+            "fig6",
+            "--decoder-backend",
+            "native-f32@t4",
+            "--help",
+        ]
+        # argparse validates --decoder-backend before --help exits: a bad
+        # token raises SystemExit(2), a good one exits 0 via --help.
+        with pytest.raises(SystemExit) as excinfo:
+            main(parser_main_args)
+        assert excinfo.value.code == 0
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig6", "--decoder-backend", "bogus", "--help"])
+        assert excinfo.value.code == 2
+
     def test_run_writes_canonical_json(self, tmp_path, capsys):
         out = tmp_path / "fig3.json"
         code = main(
