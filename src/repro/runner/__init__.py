@@ -12,8 +12,12 @@ Public surface:
 * :mod:`repro.runner.registry` — the :class:`ExperimentSpec` registry behind
   ``python -m repro run <experiment>``.
 * :class:`~repro.runner.cache.ResultCache` — on-disk JSON result cache.
+* :mod:`repro.runner.telemetry` — the process-wide metrics registry every
+  layer above reports into (counters, gauges, duration histograms, event
+  log); pure observability, never part of a run identity.
 """
 
+from repro.runner import telemetry
 from repro.runner.backends import (
     ExecutionBackend,
     create_execution_backend,
@@ -65,4 +69,5 @@ __all__ = [
     "resolve_runner",
     "run_experiment",
     "runner_scope",
+    "telemetry",
 ]

@@ -20,6 +20,7 @@ from concurrent.futures import (
 )
 from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
 
+from repro.runner import telemetry
 from repro.runner.backends.base import (
     ExecutionBackend,
     TaskQuarantined,
@@ -80,6 +81,7 @@ class ProcessPoolBackend(ExecutionBackend):
     def submit(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any]
     ) -> Iterator[Tuple[int, Any]]:
+        telemetry.inc("backend_tasks_total", len(tasks), backend=self.name)
         if len(tasks) == 1 or self.workers == 1:
             # Not worth a pool round-trip; results are identical either way.
             for index, task in enumerate(tasks):

@@ -11,6 +11,7 @@ from __future__ import annotations
 import traceback
 from typing import Any, Callable, Iterator, Sequence, Tuple
 
+from repro.runner import telemetry
 from repro.runner.backends.base import (
     ExecutionBackend,
     TaskQuarantined,
@@ -38,6 +39,7 @@ class SerialBackend(ExecutionBackend):
     def submit(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any]
     ) -> Iterator[Tuple[int, Any]]:
+        telemetry.inc("backend_tasks_total", len(tasks), backend=self.name)
         for index, task in enumerate(tasks):
             if self.on_task_error == "fail":
                 yield index, fn(task)

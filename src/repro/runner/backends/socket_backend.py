@@ -38,7 +38,7 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.runner import chaos
+from repro.runner import chaos, telemetry
 from repro.runner.backends.base import (
     ExecutionBackend,
     TaskQuarantined,
@@ -260,6 +260,7 @@ class SocketDistributedBackend(ExecutionBackend):
         tasks = list(tasks)
         if not tasks:
             return iter(())
+        telemetry.inc("backend_tasks_total", len(tasks), backend=self.name)
         self._ensure_started()
         return self._run_round(fn, tasks)
 
@@ -299,7 +300,9 @@ class SocketDistributedBackend(ExecutionBackend):
                     continue
                 self._last_activity = time.monotonic()
                 if reply_round != round_id or index in done:
-                    continue  # stale round or duplicate delivery (at-least-once)
+                    # stale round or duplicate delivery (at-least-once)
+                    telemetry.inc("backend_duplicate_replies_total")
+                    continue
                 if kind == "error":
                     # The *task code* raised over there — a different animal
                     # from the worker dying (which requeues silently and
@@ -474,6 +477,8 @@ class SocketDistributedBackend(ExecutionBackend):
         with self._connections_lock:
             self._connections.append(conn)
         self._last_activity = time.monotonic()
+        telemetry.inc("backend_worker_connects_total", worker=conn.peer)
+        telemetry.set_gauge("backend_connected_workers", self.connected_workers())
         # Fund the credit pool: one credit per advertised slot.  The
         # dispatcher debits a credit before each send and the read loop
         # refunds one per reply, capping in-flight items at the slot count.
@@ -511,8 +516,10 @@ class SocketDistributedBackend(ExecutionBackend):
                     # requeue, no diagnostics to keep.
                     conn.mark_dead()
                     return
-                # anything else (heartbeat, stray hello, unknown type) only
-                # refreshes the liveness timestamp above
+                elif message[0] == "heartbeat":
+                    telemetry.inc("backend_heartbeats_total", worker=conn.peer)
+                # anything else (stray hello, unknown type) only refreshes
+                # the liveness timestamp above
         except Exception:
             # EOF, reset, or a corrupt frame: the dispatcher requeues this
             # worker's unanswered tasks for at-least-once redelivery.
@@ -568,14 +575,22 @@ class SocketDistributedBackend(ExecutionBackend):
         """
         try:
             while not self._closing and conn.alive:
-                if self._connection_hung(conn):
+                hung_reason = self._connection_hung(conn)
+                if hung_reason:
                     # Preemptive requeue: don't wait for the socket to die —
                     # retire the worker now so others pick its items up
                     # (at-least-once redelivery).
+                    telemetry.inc("backend_hung_retires_total", worker=conn.peer)
+                    telemetry.event(
+                        "worker-hung", worker=conn.peer, reason=hung_reason
+                    )
                     conn.mark_dead()
                     break
                 if not conn.credits.acquire(timeout=_POLL_INTERVAL):
-                    continue  # all slots busy; re-check the hung detectors
+                    # All slots busy: the dispatcher parks on the empty
+                    # credit pool (this is the capacity weighting working).
+                    telemetry.inc("backend_credit_waits_total", worker=conn.peer)
+                    continue  # re-check the hung detectors
                 if self._closing or not conn.alive:
                     break
                 try:
@@ -611,6 +626,7 @@ class SocketDistributedBackend(ExecutionBackend):
                 except OSError:
                     conn.mark_dead()
                     break
+                telemetry.inc("backend_dispatch_total", worker=conn.peer)
         finally:
             self._retire(conn)
 
@@ -628,9 +644,11 @@ class SocketDistributedBackend(ExecutionBackend):
         for (round_id, _index), (item, _sent_at) in outstanding:
             if round_id == self._round and not self._closing:
                 self._task_queue.put(item)  # at-least-once redelivery
+                telemetry.inc("backend_redeliveries_total", worker=conn.peer)
         with self._connections_lock:
             if conn in self._connections:
                 self._connections.remove(conn)
+        telemetry.set_gauge("backend_connected_workers", self.connected_workers())
         try:
             conn.sock.close()
         except OSError:  # pragma: no cover - best effort

@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.core.results import SweepTable, _jsonable
-from repro.runner import chaos
+from repro.runner import chaos, telemetry
 
 #: Bump when the payload layout changes so stale cache entries miss cleanly.
 CACHE_FORMAT_VERSION = 1
@@ -147,16 +147,21 @@ class ResultCache:
                 if path.with_name(path.name + ".corrupt").exists()
                 else "missing"
             )
+            telemetry.inc("store_misses_total", store="cache")
             return None, status
         try:
             payload = json.loads(path.read_text())
         except OSError:
+            telemetry.inc("store_misses_total", store="cache")
             return None, "unreadable"
-        except json.JSONDecodeError:
+        except ValueError:
             # A file that exists but is not JSON was damaged after it was
             # written (stores are atomic, so it cannot be a half-write from
-            # a live writer).  Move it aside rather than silently letting
-            # the next store destroy the evidence.
+            # a live writer).  ValueError covers both JSONDecodeError and
+            # the UnicodeDecodeError a torn entry with invalid UTF-8 bytes
+            # raises from read_text — either way the contract is the same:
+            # quarantine, warn, recompute.  Move it aside rather than
+            # silently letting the next store destroy the evidence.
             quarantine = path.with_name(path.name + ".corrupt")
             try:
                 os.replace(path, quarantine)
@@ -168,9 +173,16 @@ class ResultCache:
                 RuntimeWarning,
                 stacklevel=2,
             )
+            telemetry.inc("store_quarantines_total", store="cache")
+            telemetry.inc("store_misses_total", store="cache")
+            telemetry.event(
+                "store-quarantine", store="cache", entry=f"{experiment}/{digest}"
+            )
             return None, "corrupt"
         if payload.get("cache_format") != CACHE_FORMAT_VERSION:
+            telemetry.inc("store_misses_total", store="cache")
             return None, "stale-format"
+        telemetry.inc("store_hits_total", store="cache")
         return payload, "ok"
 
     def store(
@@ -188,6 +200,7 @@ class ResultCache:
             path,
             serialize_payload(experiment, identity=identity, tables=tables, extras=extras),
         )
+        telemetry.inc("store_writes_total", store="cache")
         return path
 
     def entries(self) -> Dict[str, int]:

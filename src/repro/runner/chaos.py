@@ -152,8 +152,17 @@ class FaultPlan:
             self._counts[scope] = count
             if count == ordinal and not self._fired.get(scope):
                 self._fired[scope] = True
-                return True
-        return False
+                fired = True
+            else:
+                fired = False
+        if fired:
+            # Imported lazily: chaos is consulted from deep inside the wire
+            # layer, and telemetry must stay optional to that hot path.
+            from repro.runner import telemetry
+
+            telemetry.inc("chaos_injected_total", directive=scope)
+            telemetry.event("chaos-injected", directive=scope, ordinal=ordinal)
+        return fired
 
     def _jittered(self, seconds: float) -> float:
         """A deterministic 0.5x–1.5x jitter of *seconds*, from the plan seed."""

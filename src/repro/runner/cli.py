@@ -32,7 +32,13 @@ Subcommands
     Inspect (``ls``) or evict (``clear``) the result cache.
 ``serve``
     Expose a result cache (and optionally a shared point store) as a
-    read-only JSON HTTP API — see :mod:`repro.runner.serve`.
+    read-only JSON HTTP API — see :mod:`repro.runner.serve`.  ``GET
+    /metrics`` on the server returns the process telemetry snapshot.
+``metrics``
+    Summarise a telemetry snapshot file written by ``--metrics-out``
+    (``repro run`` / ``repro bler``): counters, gauges, histograms and the
+    structured event log.  Telemetry is observability only — it never
+    enters a run identity, a cached payload or a golden file.
 
 The execution backend is pure topology — serial, process-pool and
 socket-distributed runs of the same plan are byte-identical — so it is
@@ -42,6 +48,7 @@ never part of the run identity that keys the cache and the golden files.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -232,6 +239,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=DEFAULT_SEED, help="experiment seed")
     _add_execution_arguments(run_p)
     run_p.add_argument("--out", type=Path, default=None, help="write canonical JSON here")
+    run_p.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSON telemetry snapshot (dispatches, cache hits, "
+        "redeliveries, chaos injections, round timings) here when the run "
+        "ends; observability only — never part of the run identity or the "
+        "result payload (inspect with `repro metrics PATH`)",
+    )
     run_p.add_argument("--cache-dir", type=Path, default=Path(DEFAULT_CACHE_DIR))
     run_p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     run_p.add_argument(
@@ -313,6 +330,14 @@ def build_parser() -> argparse.ArgumentParser:
     bler_p.add_argument("--bler-floor", type=float, default=1e-2)
     bler_p.add_argument("--chunk-packets", type=int, default=8)
     bler_p.add_argument("--max-packets", type=int, default=None)
+    bler_p.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSON telemetry snapshot here when the estimate ends "
+        "(inspect with `repro metrics PATH`)",
+    )
 
     golden_p = sub.add_parser("golden", help="regenerate golden regression snapshots")
     golden_p.add_argument(
@@ -414,6 +439,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT",
         help="listen address (default: %(default)s; port 0 = ephemeral; "
         "no authentication — bind non-loopback hosts only on trusted networks)",
+    )
+
+    metrics_p = sub.add_parser(
+        "metrics", help="summarise a --metrics-out telemetry snapshot file"
+    )
+    metrics_p.add_argument(
+        "snapshot", type=Path, help="snapshot file written by --metrics-out"
+    )
+    metrics_p.add_argument(
+        "--json",
+        action="store_true",
+        help="re-emit the snapshot as canonical JSON instead of a summary",
     )
 
     return parser
@@ -831,7 +868,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     _report_point_store(point_store)
     _report_task_failures(runner)
+    _write_metrics(args)
     return _emit_payload(payload, args)
+
+
+def _write_metrics(args: argparse.Namespace) -> None:
+    """Honour ``--metrics-out``: snapshot the process registry to a file."""
+    if getattr(args, "metrics_out", None) is None:
+        return
+    from repro.runner import telemetry
+
+    path = telemetry.write_snapshot(args.metrics_out)
+    print(f"wrote metrics snapshot {path}", file=sys.stderr)
 
 
 def _make_point_store(args: argparse.Namespace):
@@ -920,6 +968,7 @@ def _run_scenario_cmd(args: argparse.Namespace) -> int:
         )
     _report_point_store(point_store)
     _report_task_failures(runner)
+    _write_metrics(args)
     return _emit_payload(payload, args)
 
 
@@ -1060,6 +1109,7 @@ def _cmd_bler(args: argparse.Namespace) -> int:
         f"  errors={outcome.errors} packets={outcome.trials} "
         f"chunks={outcome.num_chunks} stop={outcome.stop_reason}"
     )
+    _write_metrics(args)
     return 0
 
 
@@ -1126,6 +1176,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.runner import telemetry
+
+    try:
+        snapshot = telemetry.load_snapshot(args.snapshot)
+    except FileNotFoundError:
+        raise ValueError(f"no metrics snapshot at {args.snapshot}") from None
+    except json.JSONDecodeError:
+        raise ValueError(f"{args.snapshot} is not a JSON metrics snapshot") from None
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True, indent=2))
+    else:
+        print(telemetry.summarize_snapshot(snapshot))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.target == "decoder":
         from repro.runner.bench import run_and_record_decoder_backends
@@ -1157,6 +1223,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
+    "metrics": _cmd_metrics,
 }
 
 

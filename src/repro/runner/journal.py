@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.fault_simulator import FaultSimulationPoint
 from repro.harq.metrics import HarqStatistics
+from repro.runner import telemetry
 from repro.runner.point_store import (
     fault_point_from_json,
     fault_point_to_json,
@@ -140,9 +141,12 @@ class SweepJournal:
                 break
             try:
                 entries.append(json.loads(line))
-            except json.JSONDecodeError:
+            except ValueError:
                 # Entries are fsynced in order, so a malformed line means
-                # everything after it is unreliable too.
+                # everything after it is unreliable too.  ValueError covers
+                # JSONDecodeError and the UnicodeDecodeError a torn line
+                # with invalid UTF-8 bytes raises — both truncate, never
+                # crash the resume.
                 self.recovered_truncation = True
                 break
             good_bytes += len(line)
@@ -161,11 +165,18 @@ class SweepJournal:
         for entry in entries[1:]:
             self._ingest(entry)
             self.replayed_entries += 1
+        telemetry.inc("journal_replayed_entries_total", self.replayed_entries)
         if good_bytes < len(raw):
             # Drop the torn tail on disk as well, so the appends that follow
             # start on a clean line boundary.
             with open(self.path, "rb+") as handle:
                 handle.truncate(good_bytes)
+            telemetry.inc("journal_truncations_total")
+            telemetry.event(
+                "journal-truncation",
+                path=str(self.path),
+                kept_entries=self.replayed_entries,
+            )
 
     def _header_matches(self, entry: Dict[str, Any]) -> bool:
         return (
@@ -200,6 +211,7 @@ class SweepJournal:
         self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        telemetry.inc("journal_appends_total")
 
     # fault-map grid points ------------------------------------------- #
     def completed_fault_point(self, index: int) -> Optional[FaultSimulationPoint]:

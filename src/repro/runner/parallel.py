@@ -49,6 +49,7 @@ from repro.core.montecarlo import (
     proportion_confidence_interval,
     required_packets_for_bler,
 )
+from repro.runner import telemetry
 from repro.runner.backends import (
     DEFAULT_BACKEND,
     DEFAULT_PARALLEL_BACKEND,
@@ -232,7 +233,10 @@ class ParallelRunner:
         tasks = list(tasks)
         if not tasks:
             return []
-        results = self.collect_in_order(self.submit_round(fn, tasks), len(tasks))
+        backend_name = getattr(self._backend, "name", "unknown")
+        with telemetry.timed("runner_round_seconds", backend=backend_name):
+            results = self.collect_in_order(self.submit_round(fn, tasks), len(tasks))
+        telemetry.inc("runner_tasks_total", len(tasks), backend=backend_name)
         quarantined = [r for r in results if isinstance(r, TaskQuarantined)]
         if quarantined:
             self._record_quarantined(fn, tasks, quarantined)
@@ -362,6 +366,14 @@ class ParallelRunner:
             num_items += len(round_tasks)
             if on_round is not None:
                 on_round(round_results)
+        telemetry.inc("runner_adaptive_stops_total", reason=stop_reason)
+        telemetry.event(
+            "adaptive-stop",
+            reason=stop_reason,
+            errors=errors,
+            trials=trials,
+            num_items=num_items,
+        )
         return AdaptiveRounds(
             errors=errors, trials=trials, num_items=num_items, stop_reason=stop_reason
         )

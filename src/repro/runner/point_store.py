@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.fault_simulator import FaultSimulationPoint
 from repro.harq.metrics import HarqStatistics
+from repro.runner import telemetry
 from repro.runner.cache import (
     atomic_write_text,
     canonicalize,
@@ -257,7 +258,11 @@ class PointStore:
             payload = json.loads(path.read_text())
         except OSError:
             return None, "unreadable"
-        except json.JSONDecodeError:
+        except ValueError:
+            # ValueError covers JSONDecodeError *and* the UnicodeDecodeError
+            # a torn entry whose bytes are invalid UTF-8 raises from
+            # read_text — both mean "damaged after an atomic write", and
+            # both quarantine instead of crashing the coordinator.
             quarantine = path.with_name(path.name + ".corrupt")
             try:
                 os.replace(path, quarantine)
@@ -269,6 +274,8 @@ class PointStore:
                 RuntimeWarning,
                 stacklevel=2,
             )
+            telemetry.inc("store_quarantines_total", store="point-store")
+            telemetry.event("store-quarantine", store="point-store", entry=digest)
             return None, "corrupt"
         if payload.get("point_store_format") != POINT_STORE_FORMAT_VERSION:
             return None, "stale-format"
@@ -278,8 +285,10 @@ class PointStore:
         payload = self.load_payload(digest)
         if payload is None or payload.get("kind") != kind:
             self.misses += 1
+            telemetry.inc("store_misses_total", store="point-store")
             return None
         self.hits += 1
+        telemetry.inc("store_hits_total", store="point-store")
         return payload["result"]
 
     def _store_result(
@@ -294,6 +303,7 @@ class PointStore:
         path = self.path_for(digest)
         atomic_write_text(path, json.dumps(payload, sort_keys=True, indent=2) + "\n")
         self.writes += 1
+        telemetry.inc("store_writes_total", store="point-store")
         return path
 
     # ------------------------------------------------------------------ #

@@ -7,12 +7,20 @@ as a tiny stdlib :mod:`http.server` API:
 ==================================  =======================================
 ``GET /``                           API index (route listing + counts)
 ``GET /healthz``                    liveness probe (always 200 when serving)
+``GET /metrics``                    process telemetry snapshot (JSON; append
+                                    ``?format=prometheus`` for text exposition)
 ``GET /experiments``                experiment -> list of identity digests
 ``GET /experiments/<name>``         one experiment's digests
 ``GET /experiments/<name>/<digest>``  the cached run payload, verbatim
 ``GET /points``                     list of stored point digests
 ``GET /points/<digest>``            one stored point payload, verbatim
 ==================================  =======================================
+
+Request paths are percent-decoded segment by segment *before* validation
+(standards-compliant clients URL-encode freely), and a decoded segment that
+then fails validation — ``..``, a separator smuggled through ``%2f``, an
+empty string — is still a 404: decoding never widens what reaches the
+filesystem.
 
 The server is **read-only** (everything but GET is 405) and never computes:
 it serves exactly the canonical bytes the coordinators stored, so a payload
@@ -40,7 +48,9 @@ import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote
 
+from repro.runner import telemetry
 from repro.runner.backends.wire import format_address
 from repro.runner.cache import ResultCache
 from repro.runner.point_store import PointStore
@@ -85,13 +95,21 @@ class _QueryHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
-        path = self.path.split("?", 1)[0].rstrip("/")
-        segments = [segment for segment in path.split("/") if segment]
+        path, _, query = self.path.partition("?")
+        # Split on the *encoded* path first, then percent-decode each
+        # segment: a separator smuggled in as %2f decodes inside one
+        # segment, where _SEGMENT_RE rejects it — decoding never turns one
+        # segment into two, so traversal rejection is intact.
+        segments = [
+            unquote(segment) for segment in path.rstrip("/").split("/") if segment
+        ]
         try:
             if not segments:
                 return self._respond(200, self._index())
             if segments[0] == "healthz":
                 return self._healthz(segments[1:])
+            if segments[0] == "metrics":
+                return self._metrics(segments[1:], query)
             if segments[0] == "experiments":
                 return self._experiments(segments[1:])
             if segments[0] == "points":
@@ -113,6 +131,7 @@ class _QueryHandler(BaseHTTPRequestHandler):
             "service": "repro-query",
             "routes": [
                 "/healthz",
+                "/metrics",
                 "/experiments",
                 "/experiments/<name>",
                 "/experiments/<name>/<digest>",
@@ -136,6 +155,24 @@ class _QueryHandler(BaseHTTPRequestHandler):
                 "points": 0 if store is None else len(store),
             },
         )
+
+    def _metrics(self, rest, query: str) -> None:
+        """The process telemetry snapshot (JSON, or Prometheus text).
+
+        Serves this *process's* registry — when the server runs inside a
+        coordinator process (tests, embedded use) the sweep's own dispatch
+        and store counters show up here; a standalone ``repro serve`` shows
+        the serving-side counters (requests, cache hits from payload reads).
+        """
+        if rest:
+            raise ValueError("/".join(rest))
+        wants = parse_qs(query).get("format", ["json"])[-1].lower()
+        if wants == "prometheus":
+            body = telemetry.registry().render_prometheus().encode("utf-8")
+            return self._respond_bytes(
+                200, body, "text/plain; version=0.0.4; charset=utf-8"
+            )
+        self._respond(200, telemetry.registry().snapshot())
 
     def _experiments(self, rest) -> None:
         cache = self.server.cache
@@ -200,12 +237,25 @@ class _QueryHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------ #
     def _respond(self, status: int, payload: Any) -> None:
-        body = _json_bytes(payload)
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._respond_bytes(status, _json_bytes(payload), "application/json")
+
+    def _respond_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (ConnectionError, OSError):
+            # The client went away mid-response (BrokenPipeError and kin).
+            # Returning quietly here is the fix, not a shrug: letting this
+            # propagate would land in do_GET's generic handler, which would
+            # then try to write a 500 into the same dead socket and dump a
+            # traceback for a condition that is entirely the client's.
+            telemetry.inc("serve_client_disconnects_total")
+            self.close_connection = True
+            return
+        telemetry.inc("serve_requests_total", status=status)
 
     def do_POST(self) -> None:  # noqa: N802
         self._method_not_allowed()
